@@ -1,0 +1,50 @@
+"""Figure 4: signature factor-collision acceptance curves.
+
+Times the exact binomial computation over all primes up to 317 and checks
+the curve shapes the paper plots: acceptance rises with p, falls with the
+number of factors, and p = 251 is safely in the flat top of every panel.
+"""
+
+import pytest
+
+from repro.core import collision
+
+
+def test_fig4_all_curves(benchmark):
+    curves = benchmark(collision.figure4_curves)
+    assert set(curves) == {0.05, 0.10, 0.20}
+    for tolerance, panel in curves.items():
+        for curve in panel:
+            # monotone non-decreasing acceptance in p
+            probs = list(curve.probabilities)
+            assert all(b >= a - 1e-12 for a, b in zip(probs, probs[1:]))
+            # p = 251 sits in the high-acceptance plateau
+            at_251 = dict(zip(curve.p_values, curve.probabilities))[251]
+            assert at_251 > 0.9
+
+
+@pytest.mark.parametrize("num_factors", collision.PAPER_FACTOR_COUNTS)
+def test_fig4_single_curve(benchmark, num_factors):
+    curve = benchmark(collision.acceptance_curve, num_factors, 0.05)
+    benchmark.extra_info["acceptance_at_251"] = round(
+        dict(zip(curve.p_values, curve.probabilities))[251], 6
+    )
+
+
+def test_fig4_fewer_factors_accept_more(benchmark):
+    """At equal collision allowance, smaller signatures accept more.
+
+    24 and 36 factors both allow one collision at the 5% tolerance, so the
+    24-factor curve dominates; 48 factors allows *two* (floor(0.05·48)),
+    which is why Fig. 4's curves interleave rather than stack strictly.
+    """
+
+    def ordering():
+        return [
+            collision.acceptance_probability(nf, 31, 0.05)
+            for nf in collision.PAPER_FACTOR_COUNTS
+        ]
+
+    probs = benchmark(ordering)
+    assert probs[0] >= probs[1]  # same allowance, fewer trials
+    assert probs[0] >= probs[2]  # strictly smaller graph still dominates

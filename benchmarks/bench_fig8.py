@@ -1,0 +1,55 @@
+"""Figure 8: ipt % vs Hash across k ∈ {2, 8, 32}, breadth-first streams.
+
+The paper's observation: absolute ipt grows with k for everyone, so the
+*relative* standings stay largely consistent.  Each cell's relative ipt is
+attached as extra_info; the shape check asserts the standings.
+"""
+
+import pytest
+
+from conftest import BENCH_SEED
+
+from repro.bench.harness import compare_systems, scaled_window
+
+KS = (2, 8, 32)
+DATASETS = ("dblp", "provgen", "musicbrainz", "lubm-100")
+
+
+@pytest.mark.parametrize("k", KS)
+@pytest.mark.parametrize("name", DATASETS)
+def test_fig8_cell(benchmark, datasets, name, k):
+    dataset = datasets[name]
+    result = benchmark.pedantic(
+        compare_systems,
+        args=(dataset,),
+        kwargs=dict(order="bfs", k=k, window_size=scaled_window(dataset.graph), seed=BENCH_SEED),
+        iterations=1,
+        rounds=1,
+    )
+    rel = {s: result.relative_ipt(s) for s in ("ldg", "fennel", "loom")}
+    benchmark.extra_info.update({f"{s}_vs_hash_pct": round(v, 1) for s, v in rel.items()})
+    for system, value in rel.items():
+        assert value < 105.0, f"{system} should not lose to Hash on {name} k={k}"
+
+
+@pytest.mark.parametrize("name", ("provgen", "musicbrainz"))
+def test_fig8_absolute_ipt_grows_with_k(benchmark, datasets, name):
+    """More partitions => more boundaries => more absolute ipt (Sec. 5.2)."""
+    dataset = datasets[name]
+
+    def run():
+        out = {}
+        for k in (2, 8):
+            result = compare_systems(
+                dataset,
+                order="bfs",
+                k=k,
+                window_size=scaled_window(dataset.graph),
+                seed=BENCH_SEED,
+            )
+            out[k] = result.runs["loom"].report.weighted_ipt
+        return out
+
+    ipt_by_k = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info.update({f"loom_ipt_k{k}": round(v, 1) for k, v in ipt_by_k.items()})
+    assert ipt_by_k[8] > ipt_by_k[2]

@@ -1,0 +1,52 @@
+"""Figure 9: Loom's ipt as a function of window size t.
+
+The paper's shape: ipt falls substantially as the window grows from tiny
+to large, then flattens.  Each window size is one benchmark (so the cost
+of larger windows is itself measured); ipt lands in extra_info.
+"""
+
+import pytest
+
+from conftest import BENCH_SEED
+
+from repro.core.loom import LoomPartitioner
+from repro.graph.stream import stream_edges
+from repro.partitioning.state import PartitionState
+from repro.query.executor import WorkloadExecutor
+
+WINDOWS = (50, 200, 800)
+
+
+@pytest.fixture(scope="module")
+def fig9_setup(datasets):
+    dataset = datasets["musicbrainz"]
+    events = list(stream_edges(dataset.graph, "random", seed=BENCH_SEED))
+    executor = WorkloadExecutor(dataset.graph, dataset.workload)
+    return dataset, events, executor
+
+
+@pytest.mark.parametrize("window", WINDOWS)
+def test_fig9_window_size(benchmark, fig9_setup, window):
+    dataset, events, executor = fig9_setup
+
+    def run():
+        state = PartitionState.for_graph(8, dataset.graph.num_vertices)
+        loom = LoomPartitioner(state, dataset.workload, window_size=window)
+        loom.ingest_all(events)
+        return executor.execute(state).weighted_ipt
+
+    ipt = benchmark.pedantic(run, iterations=1, rounds=2)
+    benchmark.extra_info["weighted_ipt"] = round(ipt, 1)
+    benchmark.extra_info["window"] = window
+
+
+def test_fig9_shape_large_window_beats_tiny(fig9_setup):
+    """The headline of Fig. 9, asserted end-to-end (no timing)."""
+    dataset, events, executor = fig9_setup
+    ipt = {}
+    for window in (WINDOWS[0], WINDOWS[-1]):
+        state = PartitionState.for_graph(8, dataset.graph.num_vertices)
+        loom = LoomPartitioner(state, dataset.workload, window_size=window)
+        loom.ingest_all(events)
+        ipt[window] = executor.execute(state).weighted_ipt
+    assert ipt[WINDOWS[-1]] < ipt[WINDOWS[0]]

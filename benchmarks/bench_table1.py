@@ -1,0 +1,36 @@
+"""Table 1: dataset generation — sizes, heterogeneity and throughput.
+
+The benchmark times the schema-driven generators; each run's realised
+|V| / |E| / |LV| is attached as extra_info, mirroring Table 1's columns.
+"""
+
+import pytest
+
+from conftest import BENCH_SEED, BENCH_SIZES
+
+from repro.datasets.registry import available_datasets, dataset_spec, load_dataset
+
+
+@pytest.mark.parametrize("name", sorted(BENCH_SIZES))
+def test_table1_generate_dataset(benchmark, name):
+    n = BENCH_SIZES[name]
+    dataset = benchmark(load_dataset, name, n, BENCH_SEED)
+    row = dataset.stats_row()
+    benchmark.extra_info.update(
+        {
+            "vertices": row["vertices"],
+            "edges": row["edges"],
+            "labels": row["labels"],
+            "paper_vertices": row["paper_vertices"],
+            "paper_edges": row["paper_edges"],
+        }
+    )
+    # Heterogeneity |LV| must match the paper exactly.
+    assert row["labels"] == row["paper_labels"]
+
+
+def test_table1_registry_is_complete(benchmark):
+    names = benchmark(available_datasets)
+    assert set(names) == {"dblp", "provgen", "musicbrainz", "lubm-100", "lubm-4000"}
+    for name in names:
+        assert dataset_spec(name).paper_stats["vertices"] > 0

@@ -1,0 +1,62 @@
+"""Coauthor discovery over a DBLP-style graph — the Sec. 1 motivation.
+
+Social/bibliographic pattern queries ("who co-authored with whom?") traverse
+a skewed subset of edge types.  This example generates a DBLP-style graph,
+streams it through all four partitioners and reports ipt per query, showing
+where a query-aware partitioning pays off and what it sacrifices
+(citation-chain locality is traded away deliberately: it is below the motif
+support threshold).
+
+Run:  python examples/coauthor_workload.py [num_vertices]
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.harness import compare_systems, scaled_window
+from repro.bench.reporting import render_table
+from repro.datasets.registry import load_dataset
+
+
+def main(num_vertices: int = 2000) -> None:
+    dataset = load_dataset("dblp", num_vertices, seed=1)
+    print(f"Generated {dataset.graph} (stand-in for DBLP, Table 1)")
+    print(f"Workload: {dataset.workload}\n")
+
+    result = compare_systems(
+        dataset,
+        order="random",  # pseudo-adversarial order: hardest for one-shot heuristics
+        k=8,
+        window_size=scaled_window(dataset.graph),
+        seed=1,
+    )
+
+    print(render_table([result.row()], title="ipt % relative to Hash (lower is better)"))
+    print()
+
+    rows = []
+    for system in ("hash", "ldg", "fennel", "loom"):
+        report = result.runs[system].report
+        for query in report.queries:
+            rows.append(
+                {
+                    "system": system,
+                    "query": query.name,
+                    "frequency": f"{query.frequency:.0%}",
+                    "embeddings": query.embeddings,
+                    "cut_rate": round(query.cut_rate, 3),
+                }
+            )
+    print(render_table(rows, title="Per-query cut rates (fraction of traversals crossing partitions)"))
+    print(
+        "\nNote how Loom concentrates its advantage on the high-frequency "
+        "coauthor queries\n(the motifs) while citation chains — below the 40% "
+        "support threshold — are left\nto the LDG fallback, exactly the "
+        "trade the paper describes."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2000)

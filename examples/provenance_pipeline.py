@@ -1,0 +1,86 @@
+"""An online provenance store: incremental ingestion with Loom.
+
+Models the paper's "online graph" setting directly: a PROV-style provenance
+graph arrives as a live stream of edges (a wiki's edit activity), and Loom
+continuously places vertices while queries run against the partitioning so
+far (the window Ptemp acts as the temporary home of in-flight edges,
+Sec. 3).  After ingestion, the workload is re-weighted (derivation queries
+spike) and a fresh Loom run shows the partitioning following the workload.
+
+Run:  python examples/provenance_pipeline.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import LoomPartitioner, PartitionState, WorkloadExecutor, stream_edges
+from repro.datasets.registry import load_dataset
+
+
+def main() -> None:
+    dataset = load_dataset("provgen", 1600, seed=3)
+    graph, workload = dataset.graph, dataset.workload
+    print(f"Provenance graph: {graph}")
+    print(f"Workload: {workload}\n")
+
+    events = list(stream_edges(graph, "bfs", seed=3))
+    state = PartitionState.for_graph(4, graph.num_vertices)
+    loom = LoomPartitioner(state, workload, window_size=250)
+
+    # Ingest as an online system would: queries keep running against the
+    # partitioning-so-far, with the window visible as the extra partition
+    # Ptemp (Sec. 3).  Each snapshot executes the workload mid-stream.
+    from repro.query.online import stream_with_snapshots
+
+    burst = max(1, len(events) // 5)
+    for snap in stream_with_snapshots(loom, events, workload, every=burst):
+        print(
+            f"after {snap.edges_seen:5d} edges: "
+            f"{snap.vertices_placed:5d} placed, {snap.vertices_in_window:4d} in Ptemp, "
+            f"live weighted ipt={snap.weighted_ipt:8.1f}, sizes={state.sizes()}"
+        )
+    print(f"stream ended: window drained, {state.num_assigned} vertices placed\n")
+
+    executor = WorkloadExecutor(graph, workload)
+    report = executor.execute(state, "loom")
+    for query in report.queries:
+        print(
+            f"  {query.name:16s} freq={query.frequency:.0%}  "
+            f"embeddings={query.embeddings:6d}  cut_rate={query.cut_rate:.3f}"
+        )
+    print(f"  weighted ipt: {report.weighted_ipt:.1f}\n")
+
+    # --- workload drift: attribution queries become dominant -----------
+    drifted = workload.reweighted({"attribution": 10.0}, name="provgen-drifted")
+    state2 = PartitionState.for_graph(4, graph.num_vertices)
+    LoomPartitioner(state2, drifted, window_size=250).ingest_all(events)
+    drift_executor = WorkloadExecutor(graph, drifted)
+    report2 = drift_executor.execute(state2, "loom-drifted")
+    before = drift_executor.execute(state, "loom-stale")
+    print("After workload drift (attribution queries x10):")
+    print(f"  stale partitioning  : weighted ipt {before.weighted_ipt:.1f}")
+    print(f"  re-streamed w/ drift: weighted ipt {report2.weighted_ipt:.1f}")
+    print(
+        "\nRe-streaming under the drifted workload recovers some ipt; the gap "
+        "is modest here\nbecause ProvGen's motifs already cover most edge "
+        "types.  Keeping partitionings\ncurrent as workloads drift is the "
+        "re-partitioning integration the paper lists as\nfuture work (Sec. 6)."
+    )
+
+    # --- sticky restreaming: bounded migration (repro.core.restream) ---
+    from repro.core.restream import restream
+
+    result = restream(events, drifted, state, stickiness=2, window_size=250)
+    report3 = drift_executor.execute(result.state, "loom-restreamed")
+    print(
+        f"\nSticky restream (future-work extension): weighted ipt "
+        f"{report3.weighted_ipt:.1f}, moving only "
+        f"{result.moved_vertices} of {state.num_assigned} vertices "
+        f"({result.migration_fraction:.0%} migration)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Tuning Loom's sliding window (the Fig. 9 experiment, hands-on).
+
+Sweeps the window size over a MusicBrainz-style stream in both a friendly
+(BFS) and an adversarial (random) order, printing ipt and throughput so the
+window's quality/cost trade-off is visible: larger windows buy locality —
+dramatically so on random streams — until the curve flattens, while costing
+matcher work and delaying placements (Sec. 5.3).
+
+Run:  python examples/window_tuning.py
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import LoomPartitioner, PartitionState, WorkloadExecutor, stream_edges
+from repro.bench.reporting import render_table
+from repro.datasets.registry import load_dataset
+
+
+def main() -> None:
+    dataset = load_dataset("musicbrainz", 2400, seed=2)
+    graph, workload = dataset.graph, dataset.workload
+    print(f"Graph: {graph}")
+    executor = WorkloadExecutor(graph, workload)
+
+    rows = []
+    for order in ("bfs", "random"):
+        events = list(stream_edges(graph, order, seed=2))
+        for window in (50, 150, 400, 1000, 2500):
+            state = PartitionState.for_graph(8, graph.num_vertices)
+            loom = LoomPartitioner(state, workload, window_size=window)
+            start = time.perf_counter()
+            loom.ingest_all(events)
+            elapsed = time.perf_counter() - start
+            report = executor.execute(state)
+            rows.append(
+                {
+                    "order": order,
+                    "window": window,
+                    "weighted_ipt": round(report.weighted_ipt, 1),
+                    "edges_per_sec": int(len(events) / elapsed),
+                    "evictions": loom.stats["evictions"],
+                    "imbalance": round(max(state.sizes()) / (graph.num_vertices / 8), 2),
+                }
+            )
+    print(render_table(rows, title="Loom ipt vs window size (Fig. 9 shape)"))
+    print(
+        "\nReading: on the random (pseudo-adversarial) stream, growing the "
+        "window sharply\nreduces ipt as motif clusters re-form inside Ptemp; "
+        "on the BFS stream locality is\nalready present and the curve is "
+        "flatter — both as in Fig. 9 of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

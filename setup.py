@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package that PEP 660 editable
+installs require; with this shim ``pip install -e . --no-use-pep517
+--no-build-isolation`` (and plain ``pip install -e .`` on fully equipped
+machines) both work.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

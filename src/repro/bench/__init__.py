@@ -1,0 +1,35 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+* :mod:`repro.bench.harness` — one partitioning+execution run and the
+  4-system comparison used by Figs. 7/8.
+* :mod:`repro.bench.experiments` — one entry point per table/figure:
+  ``table1``, ``figure4``, ``figure7``, ``figure8``, ``figure9``,
+  ``table2`` and the design-choice ``ablation``.
+* :mod:`repro.bench.reporting` — plain-text table rendering.
+* ``python -m repro.bench <experiment>`` — CLI front end.
+"""
+
+from repro.bench.harness import ComparisonResult, SystemRun, compare_systems, run_system
+from repro.bench.experiments import (
+    ablation,
+    figure4,
+    figure7,
+    figure8,
+    figure9,
+    table1,
+    table2,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "SystemRun",
+    "ablation",
+    "compare_systems",
+    "figure4",
+    "figure7",
+    "figure8",
+    "figure9",
+    "run_system",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,85 @@
+"""CLI: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro.bench table1
+    python -m repro.bench figure7 --scale 0.5 --seed 7
+    python -m repro.bench all
+
+``--scale`` shrinks the generated datasets proportionally for quick runs;
+``--seed`` changes generation and stream shuffling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the tables and figures of the Loom paper (EDBT 2018).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="dataset size multiplier (default 1.0)")
+    parser.add_argument("--seed", type=int, default=0, help="generation / shuffling seed (default 0)")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        fn = EXPERIMENTS[name]
+        start = time.perf_counter()
+        if name == "figure4":  # no dataset generation involved
+            result = fn()
+        else:
+            result = fn(scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        chart = _chart_for(name, result)
+        if chart:
+            print()
+            print(chart)
+        print(f"\n[{name} regenerated in {elapsed:.1f}s]\n")
+    return 0
+
+
+def _chart_for(name: str, result) -> str:
+    """ASCII rendering of the figure experiments (bar/line shapes)."""
+    from repro.bench.charts import grouped_bar_chart, line_plot
+
+    if name in ("figure7", "figure8"):
+        key = "order" if name == "figure7" else "k"
+        groups = [
+            {**row, "cell": f"{row['dataset']} ({key}={row[key]})"} for row in result.rows
+        ]
+        return grouped_bar_chart(
+            groups,
+            group_key="cell",
+            series=("hash", "ldg", "fennel", "loom"),
+            title="ipt relative to Hash (shorter bar = better):",
+        )
+    if name == "figure9":
+        by_order = {}
+        for row in result.rows:
+            by_order.setdefault(row["order"], []).append((row["window"], row["loom_ipt"]))
+        parts = []
+        for order, points in by_order.items():
+            xs = [p[0] for p in points]
+            ys = [p[1] for p in points]
+            parts.append(
+                line_plot(xs, {f"{order} loom ipt": ys}, title=f"Loom ipt vs window ({order}):")
+            )
+        return "\n\n".join(parts)
+    return ""
+
+
+if __name__ == "__main__":
+    sys.exit(main())

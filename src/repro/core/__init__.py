@@ -1,0 +1,42 @@
+"""The paper's primary contribution: Loom and its supporting machinery.
+
+Modules
+-------
+``signature``
+    Number-theoretic graph signatures (Sec. 2.1/2.3): factor multisets over a
+    finite field, incremental deltas, no false negatives.
+``collision``
+    The binomial collision-probability model behind Fig. 4.
+``tpstry``
+    TPSTry++ (Sec. 2/2.2, Alg. 1): the DAG of all connected sub-graphs of a
+    query workload, with per-node support values.
+``motifs``
+    The support-filtered motif index used by the stream matcher.
+``window``
+    The sliding window ``Ptemp`` over the graph stream (Sec. 3).
+``matching``
+    Stream motif matching (Sec. 3, Alg. 2): matchList maintenance.
+``allocation``
+    Equal-opportunism allocation of motif-match clusters (Sec. 4, Eq. 1-3).
+``loom``
+    The Loom streaming partitioner, composing all of the above.
+"""
+
+from repro.core.signature import FactorMultiset, SignatureScheme
+from repro.core.tpstry import TPSTry, TrieNode
+from repro.core.motifs import MotifIndex
+from repro.core.matching import Match, StreamMatcher
+from repro.core.allocation import EqualOpportunism
+from repro.core.loom import LoomPartitioner
+
+__all__ = [
+    "EqualOpportunism",
+    "FactorMultiset",
+    "LoomPartitioner",
+    "Match",
+    "MotifIndex",
+    "SignatureScheme",
+    "StreamMatcher",
+    "TPSTry",
+    "TrieNode",
+]

@@ -1,0 +1,237 @@
+"""Equal-opportunism allocation of motif-match clusters (paper Sec. 4).
+
+When the window slides, the evicted edge ``e`` leaves together with (some
+of) the motif matches ``Me`` containing it.  Equal opportunism decides the
+destination partition and how much of the cluster moves:
+
+* every partition ``Si`` and match ``⟨Ek, mk⟩`` gets a **bid** (Eq. 1)::
+
+      bid(Si, ⟨Ek, mk⟩) = N(Si, Ek) · (1 − |V(Si)|/C) · supp(mk)
+
+  — vertices already co-located, discounted by fullness, weighted by how
+  likely the workload is to traverse the motif;
+
+* a **rationing function** ``l(Si)`` (Eq. 2) limits greediness: a partition
+  as small as the smallest may bid on (and take) the whole support-sorted
+  cluster, larger partitions on a shrinking prefix, and partitions more
+  than ``b×`` the smallest on nothing;
+
+* the winner (Eq. 3) takes the prefix it bid on; unassigned vertices in
+  those matches are placed in it.
+
+The evicted edge is always in the first match of the prefix: ``Me`` is
+sorted by support, descending, and the single-edge match of ``e`` dominates
+every larger match containing ``e`` (ancestor support ≥ descendant support).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.matching import Match
+from repro.graph.labelled_graph import Edge, Vertex
+from repro.partitioning.state import PartitionState
+
+FallbackChooser = Callable[[Set[Vertex]], int]
+"""Given a cluster's vertex set, pick a partition when every bid is zero."""
+
+DEFAULT_ALPHA = 2.0 / 3.0
+"""The paper's empirically chosen rationing aggression (Sec. 4)."""
+
+DEFAULT_BALANCE_CAP = 1.1
+"""Maximum imbalance ``b`` — emulates Fennel's ν = 1.1 (Sec. 4)."""
+
+
+@dataclass
+class AllocationDecision:
+    """Outcome of one equal-opportunism auction."""
+
+    winner: int
+    assigned_matches: List[Match]
+    assigned_edges: Set[Edge]
+    assigned_vertices: Set[Vertex]
+    bids: List[float]
+    fallback: bool  # True when every bid was zero and balance chose
+
+
+class EqualOpportunism:
+    """The equal-opportunism heuristic (Eqs. 1–3) over a shared state."""
+
+    def __init__(
+        self,
+        state: PartitionState,
+        alpha: float = DEFAULT_ALPHA,
+        balance_cap: float = DEFAULT_BALANCE_CAP,
+        rationing_enabled: bool = True,
+        support_weighting: bool = True,
+        neighbor_fn: Optional[Callable[[Vertex], Iterable[Vertex]]] = None,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must lie in (0, 1]")
+        if balance_cap < 1.0:
+            raise ValueError("balance_cap must be at least 1")
+        self.state = state
+        self.alpha = alpha
+        self.balance_cap = balance_cap
+        # Ablation switches (both True reproduces the paper's heuristic).
+        self.rationing_enabled = rationing_enabled
+        self.support_weighting = support_weighting
+        # N(Si, Ek) generalises LDG's N (paper footnote 8).  With a
+        # neighbour function the overlap counts the match's assigned
+        # vertices *plus* edges from the match into Si — the "most incident
+        # edges" reading of Sec. 4's naive strategy; without one it counts
+        # only the match's own assigned vertices (the literal Eq. 1).
+        self.neighbor_fn = neighbor_fn
+
+    # ------------------------------------------------------------------
+    # Eq. 2: the rationing function l
+    # ------------------------------------------------------------------
+    def ration(self, partition: int) -> float:
+        """``l(Si)`` ∈ [0, 1]: how much of a cluster ``Si`` may bid on.
+
+        Eq. 2 read together with its worked example (a partition 33.3%
+        larger than the smallest rations to ``1/1.33 · 1/1.5 = 1/2``, i.e.
+        ``α·|V(Smin)|/|V(Si)|`` with α = 2/3): 1 for partitions as small as
+        the smallest, 0 for partitions at the hard imbalance cap ``b``
+        ("emulating Fennel", whose ν = 1.1 caps against the *ideal* size —
+        that cap is the state's capacity ``C``), otherwise the α-scaled
+        inverse relative size.  The smallest size is floored at 1 so a
+        cold-start state rations nobody out.
+        """
+        if not self.rationing_enabled:
+            return 1.0
+        size = self.state.size(partition)
+        if self.state.is_full(partition):
+            return 0.0
+        smallest = max(self.state.min_size(), 1)
+        if size <= smallest:
+            return 1.0
+        return min(1.0, self.alpha * smallest / size)
+
+    # ------------------------------------------------------------------
+    # Eq. 1: bids
+    # ------------------------------------------------------------------
+    def _overlap_counts(self, match: Match) -> List[int]:
+        """``N(Si, Ek)`` for every partition at once.
+
+        Counts the match's own assigned vertices and, when a neighbour
+        function is available, the assigned neighbours of the match — one
+        count per distinct vertex, like LDG counts a vertex's placed
+        neighbours.
+        """
+        counts = [0] * self.state.k
+        partition_of = self.state.partition_of
+        for v in match.vertices:
+            p = partition_of(v)
+            if p is not None:
+                counts[p] += 1
+        if self.neighbor_fn is not None:
+            seen: Set[Vertex] = set()
+            for v in match.vertices:
+                for w in self.neighbor_fn(v):
+                    if w not in match.vertices and w not in seen:
+                        seen.add(w)
+                        p = partition_of(w)
+                        if p is not None:
+                            counts[p] += 1
+        return counts
+
+    def bid(self, partition: int, match: Match) -> float:
+        """``bid(Si, ⟨Ek, mk⟩)`` — Eq. 1."""
+        overlap = self._overlap_counts(match)[partition]
+        if overlap == 0:
+            return 0.0
+        residual = self.state.residual_capacity(partition)
+        support = match.support if self.support_weighting else 1.0
+        return overlap * residual * support
+
+    # ------------------------------------------------------------------
+    # Eq. 3: the auction
+    # ------------------------------------------------------------------
+    def allocate(
+        self,
+        matches: Sequence[Match],
+        fallback_chooser: Optional[FallbackChooser] = None,
+    ) -> AllocationDecision:
+        """Run the auction for a support-sorted cluster ``Me``.
+
+        The caller (Loom) guarantees ``matches`` is non-empty, sorted by
+        support descending, and that every match contains the evicted edge.
+        Vertices of the winning prefix not yet placed are assigned to the
+        winner here; the caller removes the edges from the window.
+
+        ``fallback_chooser`` decides the destination when every bid is zero
+        (no cluster vertex is placed anywhere yet, or holders are full) —
+        Loom passes an LDG choice over the cluster's seen neighbourhood,
+        the same heuristic it applies to unmatched edges (Sec. 4); without
+        one the least-loaded open partition is seeded.
+        """
+        if not matches:
+            raise ValueError("allocate requires at least one match")
+
+        total = len(matches)
+        overlaps = [self._overlap_counts(m) for m in matches]
+        supports = [
+            (m.support if self.support_weighting else 1.0) for m in matches
+        ]
+        residuals = [self.state.residual_capacity(i) for i in range(self.state.k)]
+        prefix_lengths: List[int] = []
+        bids: List[float] = []
+        for i in range(self.state.k):
+            n_i = math.ceil(self.ration(i) * total)
+            prefix_lengths.append(n_i)
+            bids.append(
+                sum(overlaps[j][i] * residuals[i] * supports[j] for j in range(n_i))
+            )
+
+        winner = self._pick_winner(bids)
+        fallback = bids[winner] <= 0.0
+        if fallback:
+            cluster_vertices: Set[Vertex] = set()
+            for m in matches:
+                cluster_vertices |= m.vertices
+            if fallback_chooser is not None:
+                winner = fallback_chooser(cluster_vertices)
+            else:
+                open_parts = self.state.open_partitions() or list(range(self.state.k))
+                winner = min(open_parts, key=lambda i: (self.state.size(i), i))
+
+        take = max(1, prefix_lengths[winner])  # the evicted edge must go
+        assigned = list(matches[:take])
+        edges: Set[Edge] = set()
+        vertices: Set[Vertex] = set()
+        for m in assigned:
+            edges |= m.edges
+            vertices |= m.vertices
+        for v in sorted(vertices, key=repr):
+            if self.state.is_assigned(v):
+                continue
+            if self.state.is_full(winner):
+                # The hard cap (ν = b = 1.1, "emulating Fennel") is strict:
+                # a cluster larger than the winner's remaining capacity
+                # spills its tail to the least-loaded open partition.
+                spill_to = self.state.open_partitions()
+                target = min(spill_to, key=lambda i: (self.state.size(i), i)) if spill_to else winner
+                self.state.assign(v, target)
+            else:
+                self.state.assign(v, winner)
+        return AllocationDecision(
+            winner=winner,
+            assigned_matches=assigned,
+            assigned_edges=edges,
+            assigned_vertices=vertices,
+            bids=bids,
+            fallback=fallback,
+        )
+
+    def _pick_winner(self, bids: List[float]) -> int:
+        """Highest bid; ties go to the smaller partition, then lower index."""
+        best = 0
+        best_key: Optional[Tuple[float, int, int]] = None
+        for i, b in enumerate(bids):
+            key = (-b, self.state.size(i), i)
+            if best_key is None or key < best_key:
+                best, best_key = i, key
+        return best

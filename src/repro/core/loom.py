@@ -1,0 +1,187 @@
+"""The Loom streaming partitioner (paper Secs. 2–4 composed).
+
+Loom continuously partitions an online graph into ``k`` parts, optimising
+vertex placement for a workload ``Q`` of pattern-matching queries:
+
+1. At construction it builds the TPSTry++ for ``Q`` and filters it to the
+   motif index at support threshold ``T`` (default 40%, Sec. 5.1).
+2. Each arriving edge is checked against the single-edge motifs.  A
+   non-matching edge is placed immediately with the LDG heuristic and never
+   enters the window.  A matching edge enters the sliding window ``Ptemp``
+   (default size 10k edges in the paper; scaled presets live in the
+   harness), where Alg. 2 maintains the matchList.
+3. When the window overflows, the oldest edge and its motif-match cluster
+   are auctioned to partitions by equal opportunism (Sec. 4); the winning
+   prefix of matches leaves the window together and its vertices are placed.
+4. When the stream ends, :meth:`finalize` drains the window through the same
+   eviction path.
+
+The defaults mirror the paper: α = 2/3, b = 1.1, p = 251, T = 40%.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.core.allocation import DEFAULT_ALPHA, DEFAULT_BALANCE_CAP, EqualOpportunism
+from repro.core.matching import StreamMatcher
+from repro.core.motifs import MotifIndex
+from repro.core.signature import DEFAULT_PRIME, SignatureScheme
+from repro.core.tpstry import TPSTry
+from repro.graph.labelled_graph import Vertex
+from repro.graph.stream import EdgeEvent
+from repro.partitioning.base import StreamingPartitioner
+from repro.partitioning.ldg import ldg_choose
+from repro.partitioning.state import PartitionState
+from repro.query.workload import Workload
+
+DEFAULT_SUPPORT_THRESHOLD = 0.4
+"""Motif support threshold used throughout the evaluation (Sec. 5.1)."""
+
+DEFAULT_WINDOW_SIZE = 10_000
+"""The paper's default window: 10k edges (Sec. 5.1)."""
+
+
+class LoomPartitioner(StreamingPartitioner):
+    """Query-aware streaming partitioner."""
+
+    name = "loom"
+
+    def __init__(
+        self,
+        state: PartitionState,
+        workload: Workload,
+        window_size: int = DEFAULT_WINDOW_SIZE,
+        support_threshold: float = DEFAULT_SUPPORT_THRESHOLD,
+        prime: int = DEFAULT_PRIME,
+        seed: int = 0,
+        alpha: float = DEFAULT_ALPHA,
+        balance_cap: float = DEFAULT_BALANCE_CAP,
+        max_matches_per_vertex: int = 64,
+        scheme: Optional[SignatureScheme] = None,
+        rationing_enabled: bool = True,
+        support_weighting: bool = True,
+        neighbor_aware_bids: bool = False,
+    ) -> None:
+        super().__init__(state)
+        self.workload = workload
+        self.scheme = scheme or SignatureScheme(workload.label_set(), p=prime, seed=seed)
+        self.trie = TPSTry.from_workload(workload, self.scheme)
+        self.index = MotifIndex(self.trie, support_threshold)
+        self.matcher = StreamMatcher(
+            self.index,
+            window_size,
+            max_matches_per_vertex=max_matches_per_vertex,
+        )
+        # Seen-so-far adjacency: used by the LDG placement of non-motif
+        # edges and by the auction's neighbour-aware overlap counts.
+        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        # The literal Eq. 1 (vertex overlap) measures best and is the
+        # default; neighbour-aware bids are kept as an ablation (footnote 8
+        # reading — see benchmarks/bench_ablation.py).
+        self.allocator = EqualOpportunism(
+            state,
+            alpha=alpha,
+            balance_cap=balance_cap,
+            rationing_enabled=rationing_enabled,
+            support_weighting=support_weighting,
+            neighbor_fn=(lambda v: self._adj.get(v, ())) if neighbor_aware_bids else None,
+        )
+        self.stats = {
+            "immediate_assignments": 0,
+            "evictions": 0,
+            "fallback_allocations": 0,
+            "cluster_edges_assigned": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Streaming protocol
+    # ------------------------------------------------------------------
+    def ingest(self, event: EdgeEvent) -> None:
+        self._record(event.u, event.v)
+        if not self.matcher.offer(event):
+            # Sec. 3: the edge can never join a motif match — place it now
+            # with LDG and do not displace window edges.  Endpoints that
+            # currently sit in the window are *not* pinned here: their
+            # placement belongs to the motif cluster they are part of
+            # (Sec. 4's allocation); they are skipped and will be assigned
+            # when their cluster leaves the window.
+            self._ldg_place(event.u)
+            self._ldg_place(event.v)
+            self.stats["immediate_assignments"] += 1
+            return
+        while self.matcher.needs_eviction():
+            self._evict_once()
+
+    def finalize(self) -> None:
+        """Drain ``Ptemp``: every remaining edge leaves via the normal
+        eviction/allocation path (the stream has ended)."""
+        while self.matcher.pending() > 0:
+            self._evict_once()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _record(self, u: Vertex, v: Vertex) -> None:
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+
+    def _ldg_place(self, v: Vertex) -> None:
+        """LDG placement for a vertex outside the window's jurisdiction.
+
+        Vertices currently held in ``Ptemp`` are deferred: every window
+        vertex is eventually assigned by a cluster allocation (each window
+        edge leaves through an eviction, which places its endpoints), and
+        letting an incidental non-motif edge pin such a vertex early would
+        make the motif allocation a no-op for it.
+        """
+        if self.state.is_assigned(v):
+            return
+        if self.matcher.window.graph.has_vertex(v):
+            return
+        self.state.assign(v, ldg_choose(self.state, self._adj.get(v, ())))
+
+    def _ldg_cluster_choice(self, cluster_vertices) -> int:
+        """LDG over the union of the cluster's seen neighbourhoods — the
+        zero-bid fallback (same heuristic as unmatched edges, Sec. 4)."""
+        neighborhood = set()
+        for v in cluster_vertices:
+            neighborhood |= self._adj.get(v, set())
+        neighborhood -= set(cluster_vertices)
+        return ldg_choose(self.state, neighborhood)
+
+    def _evict_once(self) -> None:
+        eviction = self.matcher.next_eviction()
+        self.stats["evictions"] += 1
+        if eviction.matches:
+            decision = self.allocator.allocate(
+                eviction.matches, fallback_chooser=self._ldg_cluster_choice
+            )
+            if decision.fallback:
+                self.stats["fallback_allocations"] += 1
+            self.stats["cluster_edges_assigned"] += len(decision.assigned_edges)
+            self.matcher.remove_cluster(decision.assigned_edges)
+        else:
+            # Defensive: a window edge always has at least its single-edge
+            # match, but if it somehow lost it, place its endpoints now —
+            # forced, since the edge is leaving the window for good.
+            for v in (eviction.event.u, eviction.event.v):
+                if not self.state.is_assigned(v):
+                    self.state.assign(v, ldg_choose(self.state, self._adj.get(v, ())))
+            self.matcher.remove_cluster({eviction.event.edge})
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def window_occupancy(self) -> int:
+        return self.matcher.pending()
+
+    def motif_summary(self) -> Dict[str, float]:
+        """Key facts about the workload analysis (for reports and tests)."""
+        return {
+            "trie_nodes": float(self.trie.num_nodes),
+            "motifs": float(self.index.num_motifs),
+            "single_edge_motifs": float(len(self.index.single_edge_motifs())),
+            "max_motif_edges": float(self.index.max_motif_edges),
+        }

@@ -1,0 +1,177 @@
+"""Restreaming repartitioning — the paper's Sec. 6 future-work direction.
+
+Loom's partitionings are workload sensitive, which makes them *vulnerable to
+workload change over time*; the paper names two remedies: integration with a
+workload-aware repartitioner, or "some form of restreaming approach [11]"
+(Leopard; also Nishimura & Ugander's restreaming partitioning).  This module
+implements the restreaming remedy on top of the existing machinery:
+
+* :func:`restream` replays a graph stream through a *fresh* partitioner
+  whose placement decisions are biased toward the previous assignment by a
+  stickiness weight, trading migration volume against ipt improvement;
+* :class:`RestreamedLoom` wires that into Loom so a drifted workload can be
+  re-optimised without starting from scratch;
+* :func:`migration_volume` quantifies how many vertices moved — the cost a
+  production system would pay in data shipping.
+
+Unlike the strict one-pass model, restreaming may *move* vertices, so it
+works on a fresh :class:`~repro.partitioning.state.PartitionState` and
+reports the delta against the old one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.core.loom import LoomPartitioner
+from repro.graph.labelled_graph import Vertex
+from repro.graph.stream import EdgeEvent
+from repro.partitioning.ldg import ldg_choose
+from repro.partitioning.state import PartitionState
+from repro.query.workload import Workload
+
+
+@dataclass
+class RestreamResult:
+    """Outcome of one restreaming pass."""
+
+    state: PartitionState
+    moved_vertices: int
+    kept_vertices: int
+
+    @property
+    def migration_fraction(self) -> float:
+        total = self.moved_vertices + self.kept_vertices
+        return self.moved_vertices / total if total else 0.0
+
+
+def migration_volume(old: PartitionState, new: PartitionState) -> int:
+    """Number of vertices whose partition differs between two states."""
+    moved = 0
+    for v, p in old.assignment().items():
+        if new.partition_of(v) not in (None, p):
+            moved += 1
+    return moved
+
+
+class _StickyLoom(LoomPartitioner):
+    """Loom whose LDG fallback and cluster auction are biased toward a
+    previous assignment.
+
+    Stickiness is implemented as phantom neighbours: when scoring a vertex
+    (or a cluster), its previous partition receives ``stickiness`` extra
+    overlap votes, so ties and weak preferences resolve toward staying put
+    while strong workload signals can still move vertices.
+    """
+
+    name = "loom-restream"
+
+    def __init__(
+        self,
+        state: PartitionState,
+        workload: Workload,
+        previous: Dict[Vertex, int],
+        stickiness: int = 1,
+        **kwargs,
+    ) -> None:
+        super().__init__(state, workload, **kwargs)
+        if stickiness < 0:
+            raise ValueError("stickiness must be non-negative")
+        self._previous = previous
+        self._stickiness = stickiness
+        base_counts = self.allocator._overlap_counts
+
+        def sticky_counts(match):
+            counts = base_counts(match)
+            for v in match.vertices:
+                prev = self._previous.get(v)
+                if prev is not None and not self.state.is_assigned(v):
+                    counts[prev] += self._stickiness
+            return counts
+
+        self.allocator._overlap_counts = sticky_counts  # type: ignore[method-assign]
+
+    def _ldg_place(self, v: Vertex) -> None:
+        if self.state.is_assigned(v):
+            return
+        if self.matcher.window.graph.has_vertex(v):
+            return
+        prev = self._previous.get(v)
+        if prev is not None and not self.state.is_full(prev):
+            neighbors = self._adj.get(v, set())
+            choice = ldg_choose(self.state, neighbors)
+            placed = self.state.count_in_partition(neighbors, choice)
+            anchored = self.state.count_in_partition(neighbors, prev) + self._stickiness
+            if anchored * self.state.residual_capacity(prev) >= placed * self.state.residual_capacity(choice):
+                self.state.assign(v, prev)
+                return
+            self.state.assign(v, choice)
+            return
+        super()._ldg_place(v)
+
+
+def restream(
+    events: Sequence[EdgeEvent],
+    workload: Workload,
+    previous: PartitionState,
+    k: Optional[int] = None,
+    capacity: Optional[float] = None,
+    stickiness: int = 1,
+    window_size: int = 1_000,
+    seed: int = 0,
+    loom_kwargs: Optional[Dict] = None,
+) -> RestreamResult:
+    """Replay ``events`` through a sticky Loom seeded by ``previous``.
+
+    Use after workload drift: build the new workload's trie, keep vertices
+    where they are unless the new motif structure argues otherwise.
+    """
+    k = k if k is not None else previous.k
+    capacity = capacity if capacity is not None else previous.capacity
+    state = PartitionState(k, capacity)
+    loom = _StickyLoom(
+        state,
+        workload,
+        previous.assignment(),
+        stickiness=stickiness,
+        window_size=window_size,
+        seed=seed,
+        **(loom_kwargs or {}),
+    )
+    loom.ingest_all(events)
+    moved = migration_volume(previous, state)
+    kept = previous.num_assigned - moved
+    return RestreamResult(state=state, moved_vertices=moved, kept_vertices=kept)
+
+
+def restream_until_stable(
+    events: Sequence[EdgeEvent],
+    workload: Workload,
+    initial: PartitionState,
+    max_passes: int = 3,
+    min_improvement: float = 0.02,
+    executor=None,
+    **kwargs,
+) -> RestreamResult:
+    """Iterated restreaming (Nishimura & Ugander style): keep replaying
+    until ipt stops improving by ``min_improvement`` (relative) or
+    ``max_passes`` is hit.  Requires an ``executor`` to measure ipt.
+    """
+    if executor is None:
+        raise ValueError("restream_until_stable needs a WorkloadExecutor to measure ipt")
+    if max_passes < 1:
+        raise ValueError("max_passes must be at least 1")
+    current = initial
+    best_ipt = executor.execute(current).weighted_ipt
+    result = RestreamResult(state=current, moved_vertices=0, kept_vertices=current.num_assigned)
+    for _ in range(max_passes):
+        candidate = restream(events, workload, current, **kwargs)
+        ipt = executor.execute(candidate.state).weighted_ipt
+        if best_ipt > 0 and (best_ipt - ipt) / best_ipt < min_improvement:
+            break
+        if ipt <= best_ipt:
+            best_ipt = ipt
+            result = candidate
+            current = candidate.state
+    return result

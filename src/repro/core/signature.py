@@ -1,0 +1,293 @@
+"""Number-theoretic graph signatures (paper Sec. 2.1 and 2.3).
+
+A labelled graph's *signature* is the product of
+
+* one **edge factor** per edge: ``(r(l_i) - r(l_j)) mod p``, and
+* one **degree factor** per unit of degree: a vertex ``v`` of degree ``n``
+  contributes ``((r(l_v) + 1) mod p) · … · ((r(l_v) + n) mod p)``,
+
+where ``r`` assigns each label a random value in ``[1, p)`` and ``p`` is a
+small prime (Loom uses 251).  Zero is never a valid factor: any ``x mod p ==
+0`` is replaced by ``p`` (paper footnote 3).
+
+Two properties make this scheme suit Loom:
+
+* **Incrementality** — adding one edge to a graph multiplies its signature by
+  exactly three new factors (one edge factor and one new degree factor per
+  endpoint), so signatures of growing window sub-graphs are cheap to extend.
+* **No false negatives** — isomorphic graphs always produce identical factor
+  multisets; only (improbable) collisions can produce false positives, and
+  the paper quantifies that probability (our :mod:`repro.core.collision`).
+
+Following Sec. 2.3 we represent signatures as **multisets of factors**
+(:class:`FactorMultiset`) rather than big-integer products, which removes the
+``{6,2} vs {12}`` collision class and makes the difference between a trie
+node and its child a simple multiset subtraction.
+
+The worked example from the paper (p = 11, r(a) = 3, r(b) = 10) holds here:
+``edge_factor('a','b') == 7``, a single a-b edge has signature product 308,
+the path a-b-a has 8624 and the 4-cycle q1 has 116 208 400.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.graph.labelled_graph import LabelledGraph
+
+DEFAULT_PRIME = 251
+"""The prime used by Loom when identifying and matching motifs (Sec. 2.3)."""
+
+
+def is_prime(n: int) -> bool:
+    """Trial-division primality check (inputs here are tiny)."""
+    if n < 2:
+        return False
+    if n % 2 == 0:
+        return n == 2
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+class FactorMultiset:
+    """An immutable multiset of integer factors.
+
+    Signatures are compared, hashed, merged and subtracted as multisets.
+    The big-integer :meth:`product` is only used for display and for the
+    paper's worked examples.
+    """
+
+    __slots__ = ("_counts", "_key", "_hash")
+
+    def __init__(self, factors: Iterable[int] = ()) -> None:
+        counts = Counter(factors)
+        if any(f <= 0 for f in counts):
+            raise ValueError("factors must be positive (zero is replaced by p upstream)")
+        self._counts: Counter = counts
+        self._key: Tuple[int, ...] = tuple(sorted(counts.elements()))
+        self._hash = hash(self._key)
+
+    # -- basic protocol -------------------------------------------------
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._key)
+
+    def __len__(self) -> int:
+        return len(self._key)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FactorMultiset) and self._key == other._key
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FactorMultiset({list(self._key)!r})"
+
+    @property
+    def key(self) -> Tuple[int, ...]:
+        """The canonical sorted-tuple form (usable as a dict key)."""
+        return self._key
+
+    def counts(self) -> Mapping[int, int]:
+        return dict(self._counts)
+
+    # -- multiset algebra ------------------------------------------------
+    def merge(self, other: "FactorMultiset | Iterable[int]") -> "FactorMultiset":
+        """Multiset union-with-multiplicity: the signature of ``G1 ⊎ G2``."""
+        merged = Counter(self._counts)
+        merged.update(other._counts if isinstance(other, FactorMultiset) else Counter(other))
+        return FactorMultiset(merged.elements())
+
+    def difference(self, other: "FactorMultiset") -> "FactorMultiset":
+        """Multiset difference ``self - other``.
+
+        Raises ``ValueError`` unless ``other`` is a sub-multiset — trie
+        children always contain their parent's factors, so a failure here
+        indicates a logic error, not a data condition.
+        """
+        if not self.contains(other):
+            raise ValueError("difference undefined: operand is not a sub-multiset")
+        result = Counter(self._counts)
+        result.subtract(other._counts)
+        return FactorMultiset(+result)
+
+    def contains(self, other: "FactorMultiset") -> bool:
+        """True iff ``other`` is a sub-multiset of ``self``."""
+        return all(self._counts.get(f, 0) >= n for f, n in other._counts.items())
+
+    def product(self) -> int:
+        """The big-integer signature product (paper Sec. 2.1 presentation)."""
+        out = 1
+        for f in self._key:
+            out *= f
+        return out
+
+
+EMPTY_SIGNATURE = FactorMultiset()
+
+
+class SignatureScheme:
+    """Factor arithmetic for a fixed prime ``p`` and per-label random values.
+
+    Label values are drawn deterministically from ``seed`` and, while the
+    label alphabet is smaller than ``p - 1``, *without replacement* — distinct
+    values for distinct labels remove one avoidable collision source.  New
+    labels may appear lazily (streams can carry labels unseen at set-up).
+    """
+
+    def __init__(
+        self,
+        labels: Iterable[str] = (),
+        p: int = DEFAULT_PRIME,
+        seed: int = 0,
+    ) -> None:
+        if not is_prime(p):
+            raise ValueError(f"p must be prime, got {p}")
+        if p < 3:
+            raise ValueError("p must be at least 3 so that [1, p) has two values")
+        self.p = p
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._values: Dict[str, int] = {}
+        self._pool = list(range(1, p))
+        self._rng.shuffle(self._pool)
+        self._pool_next = 0
+        for label in sorted(set(labels)):
+            self._assign(label)
+
+    # -- label values ----------------------------------------------------
+    def _assign(self, label: str) -> int:
+        if self._pool_next < len(self._pool):
+            value = self._pool[self._pool_next]
+            self._pool_next += 1
+        else:  # alphabet larger than the field: fall back to sampling
+            value = self._rng.randrange(1, self.p)
+        self._values[label] = value
+        return value
+
+    def value(self, label: str) -> int:
+        """``r(label)``, assigning a fresh random value on first sight."""
+        got = self._values.get(label)
+        if got is None:
+            got = self._assign(label)
+        return got
+
+    def known_labels(self) -> Dict[str, int]:
+        return dict(self._values)
+
+    def with_values(self, values: Mapping[str, int]) -> "SignatureScheme":
+        """Override label values (used to reproduce the paper's examples)."""
+        for label, value in values.items():
+            if not 1 <= value:
+                raise ValueError(f"label value for {label!r} must be >= 1")
+            self._values[label] = value
+        return self
+
+    # -- factors -----------------------------------------------------------
+    def _nonzero(self, x: int) -> int:
+        """Map into [1, p]: zero is not a valid factor (footnote 3)."""
+        r = x % self.p
+        return r if r != 0 else self.p
+
+    def edge_factor(self, label_a: str, label_b: str) -> int:
+        """The factor of one edge between labels ``a`` and ``b``.
+
+        For undirected edges the subtraction order only needs to be
+        consistent (Sec. 2.1); we use lexicographic order of the labels,
+        oriented to match the paper's worked example
+        (``edge_factor('a', 'b') == 7`` for r(a)=3, r(b)=10, p=11).
+        """
+        lo, hi = sorted((label_a, label_b))
+        return self._nonzero(self.value(hi) - self.value(lo))
+
+    def directed_edge_factor(self, source_label: str, target_label: str) -> int:
+        """The factor of one *directed* edge.
+
+        Sec. 2.1's inline extension: "for the factors of directed edges,
+        the random value for the target vertex's label is subtracted from
+        the random value for the source vertex's label".  Orientation now
+        matters — ``a→b`` and ``b→a`` produce distinct factors (unless they
+        collide in the field), which is exactly what lets a directed
+        variant of the trie distinguish edge directions.
+        """
+        return self._nonzero(self.value(source_label) - self.value(target_label))
+
+    def degree_factor(self, label: str, nth: int) -> int:
+        """The factor contributed by a vertex's ``nth`` unit of degree."""
+        if nth < 1:
+            raise ValueError("degree factors are 1-based")
+        return self._nonzero(self.value(label) + nth)
+
+    def addition_factors(
+        self,
+        label_u: str,
+        label_v: str,
+        degree_u: int,
+        degree_v: int,
+    ) -> FactorMultiset:
+        """Factors multiplied in when an edge joins a sub-graph (Sec. 2.1).
+
+        ``degree_u``/``degree_v`` are the endpoint degrees *within the
+        sub-graph before* the edge is added (0 for a vertex not yet in it).
+        Exactly three factors result: the edge factor and one new degree
+        factor per endpoint.
+        """
+        return FactorMultiset(
+            (
+                self.edge_factor(label_u, label_v),
+                self.degree_factor(label_u, degree_u + 1),
+                self.degree_factor(label_v, degree_v + 1),
+            )
+        )
+
+    def addition_key(
+        self,
+        label_u: str,
+        label_v: str,
+        degree_u: int,
+        degree_v: int,
+    ) -> Tuple[int, int, int]:
+        """The sorted-tuple key of :meth:`addition_factors`.
+
+        Equal to ``addition_factors(...).key`` but without building a
+        multiset — the stream matcher calls this once per (match, edge)
+        pair, so the allocation matters.
+        """
+        a = self.edge_factor(label_u, label_v)
+        b = self.degree_factor(label_u, degree_u + 1)
+        c = self.degree_factor(label_v, degree_v + 1)
+        if a > b:
+            a, b = b, a
+        if b > c:
+            b, c = c, b
+            if a > b:
+                a, b = b, a
+        return (a, b, c)
+
+    def single_edge_signature(self, label_u: str, label_v: str) -> FactorMultiset:
+        """Signature of a lone edge (both endpoints at degree 1)."""
+        return self.addition_factors(label_u, label_v, 0, 0)
+
+    def graph_signature(self, graph: LabelledGraph) -> FactorMultiset:
+        """The full signature of ``graph`` as a factor multiset.
+
+        Built directly from the definition: one factor per edge, plus, for a
+        vertex of degree ``n``, factors for degrees ``1..n``.
+        """
+        factors = []
+        for u, v in graph.edges():
+            factors.append(self.edge_factor(graph.label(u), graph.label(v)))
+        for v in graph.vertices():
+            label = graph.label(v)
+            for nth in range(1, graph.degree(v) + 1):
+                factors.append(self.degree_factor(label, nth))
+        return FactorMultiset(factors)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SignatureScheme p={self.p} labels={len(self._values)} seed={self.seed}>"

@@ -1,0 +1,106 @@
+"""The sliding window ``Ptemp`` over the graph stream (paper Sec. 3).
+
+Loom buffers the most recent ``t`` motif-candidate edges.  The window is
+simultaneously
+
+* a FIFO: when full, the oldest edge is evicted and allocated, and
+* a temporary partition: its edges form a labelled graph whose connected
+  sub-graphs the matcher compares against motifs.
+
+Edges that cannot match any single-edge motif never enter the window (they
+are placed immediately), so they do not displace older edges — exactly the
+behaviour described at the start of Sec. 4.
+
+Cluster allocation can remove *multiple* edges at once (a motif match
+cluster leaves together), so removal by edge key is O(1): the FIFO is an
+insertion-ordered dict rather than a deque.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.graph.labelled_graph import Edge, LabelledGraph
+from repro.graph.stream import EdgeEvent
+
+
+class SlidingWindow:
+    """A fixed-capacity FIFO of edge events plus their graph (``Ptemp``)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("window capacity must be at least 1")
+        self.capacity = capacity
+        self._events: Dict[Edge, EdgeEvent] = {}  # insertion-ordered
+        self._graph = LabelledGraph("Ptemp")
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, event: EdgeEvent) -> bool:
+        """Buffer ``event``; returns ``False`` for duplicate edges."""
+        e = event.edge
+        if e in self._events:
+            return False
+        self._events[e] = event
+        self._graph.add_edge(event.u, event.v, event.u_label, event.v_label)
+        return True
+
+    def remove_edges(self, edges: Set[Edge]) -> List[EdgeEvent]:
+        """Remove ``edges`` (a match cluster) from the window.
+
+        Vertices left isolated are dropped from the window graph — they have
+        left ``Ptemp`` (their permanent placement is the allocator's job).
+        Returns the removed events; unknown edges are ignored.
+        """
+        removed: List[EdgeEvent] = []
+        for e in edges:
+            event = self._events.pop(e, None)
+            if event is None:
+                continue
+            removed.append(event)
+            self._graph.remove_edge(event.u, event.v)
+            for endpoint in (event.u, event.v):
+                if self._graph.has_vertex(endpoint) and self._graph.degree(endpoint) == 0:
+                    self._graph.remove_vertex(endpoint)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def oldest(self) -> EdgeEvent:
+        """The event next in line for eviction (does not remove it)."""
+        if not self._events:
+            raise LookupError("window is empty")
+        return next(iter(self._events.values()))
+
+    def is_overflowing(self) -> bool:
+        """True when the window holds more than ``capacity`` edges, i.e.
+        the newest arrival must displace the oldest (Sec. 4)."""
+        return len(self._events) > self.capacity
+
+    @property
+    def graph(self) -> LabelledGraph:
+        """The window contents as a graph.  Do not mutate directly."""
+        return self._graph
+
+    def degree_in_window(self, vertex) -> int:
+        return self._graph.degree(vertex) if self._graph.has_vertex(vertex) else 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __contains__(self, edge: Edge) -> bool:
+        return edge in self._events
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self._events)
+
+    def events(self) -> Iterator[EdgeEvent]:
+        return iter(self._events.values())
+
+    def event_for(self, edge: Edge) -> Optional[EdgeEvent]:
+        return self._events.get(edge)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SlidingWindow {len(self._events)}/{self.capacity} edges>"

@@ -1,0 +1,55 @@
+"""The running example of the paper's Fig. 1.
+
+The graph ``G``: eight vertices in two rows, labels ::
+
+        1:a   2:b   3:c   4:d
+        5:b   6:a   7:d   8:c
+
+with the row paths 1-2-3-4 and 5-6-7-8 plus the rungs 2-6 and 3-7.  The
+min-edge-cut-optimal balanced bisection is A = {1,2,5,6}, B = {3,4,7,8}
+(cut = 2), but for the workload ``Q = (q1: 30%, q2: 60%, q3: 10%)`` —
+q1 the a-b-a-b square, q2 the path a-b-c, q3 the path a-b-c-d — the
+alternative A′ = {1,2,3,6}, B′ = {4,5,7,8} has zero ipt for q2 despite a
+strictly worse edge-cut (4: the edges 3-4, 5-6, 6-7 and 3-7 all cross).
+This module is used by the test-suite and the quickstart example to
+demonstrate exactly that trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.graph.labelled_graph import LabelledGraph, Vertex
+from repro.query.pattern import cycle_pattern, path_pattern
+from repro.query.workload import Workload
+
+FIGURE1_LABELS: Dict[Vertex, str] = {
+    1: "a", 2: "b", 3: "c", 4: "d",
+    5: "b", 6: "a", 7: "d", 8: "c",
+}
+
+FIGURE1_EDGES = [(1, 2), (2, 3), (3, 4), (5, 6), (6, 7), (7, 8), (2, 6), (3, 7)]
+
+#: The balanced min-edge-cut bisection {A, B} of Fig. 1 (cut = 2).
+MIN_CUT_PARTITIONING: Dict[Vertex, int] = {1: 0, 2: 0, 5: 0, 6: 0, 3: 1, 4: 1, 7: 1, 8: 1}
+
+#: The workload-aware alternative {A', B'} (cut = 3, but 0 ipt for q2).
+WORKLOAD_AWARE_PARTITIONING: Dict[Vertex, int] = {1: 0, 2: 0, 3: 0, 6: 0, 4: 1, 5: 1, 7: 1, 8: 1}
+
+
+def figure1_graph() -> LabelledGraph:
+    """The example graph ``G`` of Fig. 1."""
+    return LabelledGraph.from_label_map(FIGURE1_LABELS, FIGURE1_EDGES, name="figure1")
+
+
+def figure1_workload() -> Workload:
+    """The workload ``Q = (q1: 30%, q2: 60%, q3: 10%)`` of Fig. 1.
+
+    q1 is the 4-cycle alternating a/b labels, q2 the path a-b-c and q3 the
+    path a-b-c-d; at the default support threshold of 40% the motifs of the
+    resulting TPSTry++ are a-b, b-c and a-b-c (the shaded nodes of Fig. 2).
+    """
+    q1 = cycle_pattern(["a", "b", "a", "b"], name="q1")
+    q2 = path_pattern(["a", "b", "c"], name="q2")
+    q3 = path_pattern(["a", "b", "c", "d"], name="q3")
+    return Workload([(q1, 0.30), (q2, 0.60), (q3, 0.10)], name="figure1")

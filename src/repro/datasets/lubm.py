@@ -1,0 +1,137 @@
+"""LUBM stand-in: university records (paper Table 1, |LV| = 15).
+
+LUBM (the Lehigh University Benchmark) is itself a synthetic generator, so
+this module re-implements its schema directly: universities contain
+departments; departments employ professors of three ranks and lecturers,
+host research groups, and enrol graduate/undergraduate students; students
+take courses taught by faculty; faculty author publications; graduate
+students have advisors and serve as teaching/research assistants.  Fifteen
+labels, matching the paper's heterogeneity.
+
+Two paper scales exist — LUBM-100 (2.6M/11M) and LUBM-4000 (131M/534M).
+Both map to this generator with different vertex budgets; LUBM-4000 is used
+only for partitioning throughput (Table 2), exactly as in the paper (its
+ipt is beyond the experimental setup there too, Sec. 5.2).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import RelationRule, Schema, generate_graph
+from repro.graph.labelled_graph import LabelledGraph
+from repro.query.pattern import path_pattern
+from repro.query.workload import Workload
+
+PAPER_STATS_100 = {"vertices": 2_600_000, "edges": 11_000_000, "labels": 15, "real": False}
+PAPER_STATS_4000 = {"vertices": 131_000_000, "edges": 534_000_000, "labels": 15, "real": False}
+
+DEFAULT_VERTICES_100 = 3_600
+DEFAULT_VERTICES_4000 = 14_400
+
+LABELS = (
+    "university",
+    "department",
+    "fullprofessor",
+    "associateprofessor",
+    "assistantprofessor",
+    "lecturer",
+    "undergraduate",
+    "graduatestudent",
+    "course",
+    "graduatecourse",
+    "researchgroup",
+    "publication",
+    "chair",
+    "teachingassistant",
+    "researchassistant",
+)
+
+
+def schema() -> Schema:
+    return Schema(
+        name="lubm",
+        label_weights={
+            "university": 0.4,
+            "department": 2.0,
+            "fullprofessor": 2.5,
+            "associateprofessor": 3.0,
+            "assistantprofessor": 3.0,
+            "lecturer": 2.5,
+            "undergraduate": 32.0,
+            "graduatestudent": 10.0,
+            "course": 12.0,
+            "graduatecourse": 6.0,
+            "researchgroup": 3.0,
+            "publication": 18.0,
+            "chair": 0.6,
+            "teachingassistant": 2.5,
+            "researchassistant": 2.0,
+        },
+        rules=(
+            # Departments are genuine hubs in LUBM; give them generous caps.
+            RelationRule("department", "university", 1.0, attachment="uniform", locality=0.95, max_target_degree=64),
+            RelationRule("chair", "department", 1.0, attachment="uniform", locality=0.95, max_target_degree=160),
+            RelationRule("fullprofessor", "department", 1.0, attachment="uniform", locality=0.95, max_target_degree=160),
+            RelationRule("associateprofessor", "department", 1.0, attachment="uniform", locality=0.95, max_target_degree=160),
+            RelationRule("assistantprofessor", "department", 1.0, attachment="uniform", locality=0.95, max_target_degree=160),
+            RelationRule("lecturer", "department", 1.0, attachment="uniform", locality=0.95, max_target_degree=160),
+            RelationRule("researchgroup", "department", 1.0, attachment="uniform", locality=0.95, max_target_degree=160),
+            RelationRule("graduatestudent", "department", 1.0, attachment="uniform", locality=0.95, max_target_degree=160),
+            RelationRule("undergraduate", "department", 1.0, attachment="uniform", locality=0.95, max_target_degree=160),
+            RelationRule("course", "department", 1.0, attachment="uniform", locality=0.95, max_target_degree=160),
+            RelationRule("graduatecourse", "department", 1.0, attachment="uniform", locality=0.95, max_target_degree=160),
+            # teaching
+            RelationRule("course", "lecturer", 0.8, attachment="uniform", locality=0.9, max_target_degree=20),
+            RelationRule("course", "assistantprofessor", 0.6, attachment="uniform", locality=0.9, max_target_degree=20),
+            RelationRule("graduatecourse", "fullprofessor", 0.7, attachment="uniform", locality=0.9, max_target_degree=20),
+            RelationRule("graduatecourse", "associateprofessor", 0.6, attachment="uniform", locality=0.9, max_target_degree=20),
+            # enrolment
+            RelationRule("undergraduate", "course", 3.4, attachment="preferential", locality=0.92, max_target_degree=56),
+            RelationRule("graduatestudent", "graduatecourse", 2.2, attachment="preferential", locality=0.92, max_target_degree=40),
+            # research
+            RelationRule("publication", "fullprofessor", 1.0, attachment="preferential", locality=0.92, max_target_degree=32),
+            RelationRule("publication", "associateprofessor", 0.7, attachment="preferential", locality=0.92, max_target_degree=28),
+            RelationRule("publication", "graduatestudent", 0.8, attachment="preferential", locality=0.92, max_target_degree=20),
+            RelationRule("graduatestudent", "fullprofessor", 0.6, attachment="preferential", locality=0.92, max_target_degree=24),
+            RelationRule("graduatestudent", "associateprofessor", 0.5, attachment="uniform", locality=0.92, max_target_degree=24),
+            RelationRule("researchassistant", "researchgroup", 1.0, attachment="uniform", locality=0.9, max_target_degree=16),
+            RelationRule("teachingassistant", "course", 1.0, attachment="uniform", locality=0.9, max_target_degree=56),
+        ),
+        communities=20,
+    )
+
+
+def build_graph(num_vertices: int = DEFAULT_VERTICES_100, seed: int = 0) -> LabelledGraph:
+    return generate_graph(schema(), num_vertices, seed, name="lubm")
+
+
+def build_workload() -> Workload:
+    """Paths approximating the LUBM query mix the paper uses (Sec. 5.1.2).
+
+    The real LUBM queries are enrolment- and membership-heavy; accordingly
+    the membership query (LUBM Q2-shaped) and the classmates query clear
+    the 40% threshold as 2-edge motifs covering the dominant edge types
+    (student–department–university and student–course–student), while the
+    teaching and advisor queries stay below it — the label-type skew Loom
+    exploits.
+    """
+    q_member = path_pattern(
+        ["graduatestudent", "department", "university"], name="member-of"
+    )
+    q_classmates = path_pattern(
+        ["undergraduate", "course", "undergraduate"], name="classmates"
+    )
+    q_teach = path_pattern(
+        ["undergraduate", "course", "lecturer"], name="taught-by"
+    )
+    q_advise = path_pattern(
+        ["publication", "fullprofessor", "graduatestudent"], name="advisor-pub"
+    )
+    return Workload(
+        [
+            (q_member, 0.40),
+            (q_classmates, 0.40),
+            (q_teach, 0.10),
+            (q_advise, 0.10),
+        ],
+        name="lubm",
+    )

@@ -1,0 +1,129 @@
+"""Dataset registry: name → (generator, canonical workload, paper metadata).
+
+The registry serves the harness (Table 1, Figs. 7–9, Table 2) and the
+examples.  Every entry is deterministic in ``(name, num_vertices, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.datasets import dblp, lubm, musicbrainz, provgen
+from repro.graph.labelled_graph import LabelledGraph
+from repro.query.workload import Workload
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of one dataset in the registry."""
+
+    name: str
+    description: str
+    build_graph: Callable[[int, int], LabelledGraph]
+    build_workload: Callable[[], Workload]
+    default_vertices: int
+    paper_stats: Mapping[str, object]
+
+
+@dataclass
+class Dataset:
+    """A loaded dataset: the graph plus its canonical query workload."""
+
+    name: str
+    graph: LabelledGraph
+    workload: Workload
+    spec: DatasetSpec
+
+    @property
+    def heterogeneity(self) -> int:
+        """``|LV|`` — the number of distinct vertex labels (Table 1)."""
+        return len(self.graph.label_set())
+
+    def stats_row(self) -> Dict[str, object]:
+        """One Table 1 row for this *generated* dataset."""
+        return {
+            "dataset": self.name,
+            "vertices": self.graph.num_vertices,
+            "edges": self.graph.num_edges,
+            "labels": self.heterogeneity,
+            "paper_vertices": self.spec.paper_stats["vertices"],
+            "paper_edges": self.spec.paper_stats["edges"],
+            "paper_labels": self.spec.paper_stats["labels"],
+            "real": self.spec.paper_stats["real"],
+            "description": self.spec.description,
+        }
+
+
+_SPECS: Dict[str, DatasetSpec] = {
+    "dblp": DatasetSpec(
+        name="dblp",
+        description="Publications & citations",
+        build_graph=dblp.build_graph,
+        build_workload=dblp.build_workload,
+        default_vertices=dblp.DEFAULT_VERTICES,
+        paper_stats=dblp.PAPER_STATS,
+    ),
+    "provgen": DatasetSpec(
+        name="provgen",
+        description="Wiki page provenance",
+        build_graph=provgen.build_graph,
+        build_workload=provgen.build_workload,
+        default_vertices=provgen.DEFAULT_VERTICES,
+        paper_stats=provgen.PAPER_STATS,
+    ),
+    "musicbrainz": DatasetSpec(
+        name="musicbrainz",
+        description="Music records metadata",
+        build_graph=musicbrainz.build_graph,
+        build_workload=musicbrainz.build_workload,
+        default_vertices=musicbrainz.DEFAULT_VERTICES,
+        paper_stats=musicbrainz.PAPER_STATS,
+    ),
+    "lubm-100": DatasetSpec(
+        name="lubm-100",
+        description="University records",
+        build_graph=lubm.build_graph,
+        build_workload=lubm.build_workload,
+        default_vertices=lubm.DEFAULT_VERTICES_100,
+        paper_stats=lubm.PAPER_STATS_100,
+    ),
+    "lubm-4000": DatasetSpec(
+        name="lubm-4000",
+        description="University records (throughput scale)",
+        build_graph=lubm.build_graph,
+        build_workload=lubm.build_workload,
+        default_vertices=lubm.DEFAULT_VERTICES_4000,
+        paper_stats=lubm.PAPER_STATS_4000,
+    ),
+}
+
+#: Datasets whose ipt is measured (Figs. 7/8); LUBM-4000 is throughput-only,
+#: as in the paper.
+IPT_DATASETS = ("dblp", "provgen", "musicbrainz", "lubm-100")
+
+
+def available_datasets() -> List[str]:
+    return sorted(_SPECS)
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+        ) from None
+
+
+def load_dataset(
+    name: str,
+    num_vertices: Optional[int] = None,
+    seed: int = 0,
+) -> Dataset:
+    """Generate dataset ``name`` at ``num_vertices`` (default per-dataset)."""
+    spec = dataset_spec(name)
+    n = num_vertices if num_vertices is not None else spec.default_vertices
+    graph = spec.build_graph(n, seed)
+    graph.name = name
+    return Dataset(name=name, graph=graph, workload=spec.build_workload(), spec=spec)

@@ -1,0 +1,32 @@
+"""Labelled graph substrate: graph structure, streams and IO.
+
+This subpackage provides the data model everything else in :mod:`repro` is
+built on: an undirected, vertex-labelled graph (:class:`LabelledGraph`), a
+stream representation of an *online* graph (:class:`EdgeEvent`,
+:func:`stream_edges`) and the three stream orderings used in the paper's
+evaluation (breadth-first, depth-first and random).
+"""
+
+from repro.graph.labelled_graph import Edge, LabelledGraph, normalize_edge
+from repro.graph.stream import (
+    EdgeEvent,
+    StreamOrder,
+    bfs_stream,
+    dfs_stream,
+    random_stream,
+    stream_edges,
+    stream_to_graph,
+)
+
+__all__ = [
+    "Edge",
+    "EdgeEvent",
+    "LabelledGraph",
+    "StreamOrder",
+    "bfs_stream",
+    "dfs_stream",
+    "normalize_edge",
+    "random_stream",
+    "stream_edges",
+    "stream_to_graph",
+]

@@ -1,0 +1,174 @@
+"""Graph streams and stream orderings.
+
+The paper treats an *online graph* as a (possibly infinite) sequence of edge
+additions (Sec. 1.3) and evaluates partitioners over three orderings of a
+static graph's edges (Sec. 5.1):
+
+* **breadth-first** — edges emitted as a BFS visits each connected component,
+* **depth-first** — likewise with a DFS,
+* **random** — a seeded permutation of the edges ("pseudo-adversarial").
+
+Each stream element is an :class:`EdgeEvent` carrying both endpoints *and*
+their labels, because a streaming partitioner sees vertices for the first
+time when an incident edge arrives.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator, List, Optional
+
+from repro.graph.labelled_graph import Edge, LabelledGraph, Vertex, normalize_edge
+
+
+@dataclass(frozen=True)
+class EdgeEvent:
+    """One element of a graph stream: an undirected labelled edge addition."""
+
+    u: Vertex
+    u_label: str
+    v: Vertex
+    v_label: str
+
+    @property
+    def edge(self) -> Edge:
+        return normalize_edge(self.u, self.v)
+
+    def endpoints(self):
+        return (self.u, self.v)
+
+    def label_of(self, vertex: Vertex) -> str:
+        if vertex == self.u:
+            return self.u_label
+        if vertex == self.v:
+            return self.v_label
+        raise KeyError(f"{vertex!r} is not an endpoint of {self!r}")
+
+    def label_pair(self):
+        """The unordered label pair, sorted (used for single-edge signatures)."""
+        return tuple(sorted((self.u_label, self.v_label)))
+
+
+class StreamOrder(str, Enum):
+    """The three stream orderings of the paper's evaluation (Sec. 5.1)."""
+
+    BREADTH_FIRST = "bfs"
+    DEPTH_FIRST = "dfs"
+    RANDOM = "random"
+
+
+def _event(graph: LabelledGraph, u: Vertex, v: Vertex) -> EdgeEvent:
+    return EdgeEvent(u, graph.label(u), v, graph.label(v))
+
+
+def _ordered_roots(graph: LabelledGraph, rng: random.Random) -> List[Vertex]:
+    """Deterministic component roots: one shuffled list of all vertices.
+
+    The search starts a new traversal from the next unvisited vertex, which
+    covers every connected component exactly once.
+    """
+    roots = sorted(graph.vertices(), key=repr)
+    rng.shuffle(roots)
+    return roots
+
+
+def bfs_stream(graph: LabelledGraph, seed: int = 0) -> Iterator[EdgeEvent]:
+    """Emit every edge once, in breadth-first discovery order.
+
+    When a vertex is dequeued, all of its not-yet-emitted incident edges are
+    emitted (tree edges *and* cross edges), so neighbouring edges appear
+    close together in the stream — the locality that makes BFS order
+    friendly to streaming partitioners (Sec. 5.3).
+    """
+    rng = random.Random(seed)
+    emitted = set()
+    visited = set()
+    for root in _ordered_roots(graph, rng):
+        if root in visited:
+            continue
+        visited.add(root)
+        queue: List[Vertex] = [root]
+        head = 0
+        while head < len(queue):
+            u = queue[head]
+            head += 1
+            nbrs = sorted(graph.neighbors(u), key=repr)
+            rng.shuffle(nbrs)
+            for v in nbrs:
+                e = normalize_edge(u, v)
+                if e not in emitted:
+                    emitted.add(e)
+                    yield _event(graph, u, v)
+                if v not in visited:
+                    visited.add(v)
+                    queue.append(v)
+
+
+def dfs_stream(graph: LabelledGraph, seed: int = 0) -> Iterator[EdgeEvent]:
+    """Emit every edge once, in (iterative) depth-first discovery order."""
+    rng = random.Random(seed)
+    emitted = set()
+    visited = set()
+    for root in _ordered_roots(graph, rng):
+        if root in visited:
+            continue
+        visited.add(root)
+        stack: List[Vertex] = [root]
+        while stack:
+            u = stack.pop()
+            nbrs = sorted(graph.neighbors(u), key=repr)
+            rng.shuffle(nbrs)
+            for v in nbrs:
+                e = normalize_edge(u, v)
+                if e not in emitted:
+                    emitted.add(e)
+                    yield _event(graph, u, v)
+                if v not in visited:
+                    visited.add(v)
+                    stack.append(v)
+
+
+def random_stream(graph: LabelledGraph, seed: int = 0) -> Iterator[EdgeEvent]:
+    """Emit every edge once, in a seeded random permutation."""
+    rng = random.Random(seed)
+    edges = sorted(graph.edges(), key=repr)
+    rng.shuffle(edges)
+    for u, v in edges:
+        yield _event(graph, u, v)
+
+
+_ORDERINGS = {
+    StreamOrder.BREADTH_FIRST: bfs_stream,
+    StreamOrder.DEPTH_FIRST: dfs_stream,
+    StreamOrder.RANDOM: random_stream,
+}
+
+
+def stream_edges(
+    graph: LabelledGraph,
+    order: StreamOrder | str = StreamOrder.BREADTH_FIRST,
+    seed: int = 0,
+) -> Iterator[EdgeEvent]:
+    """Stream ``graph``'s edges in the requested :class:`StreamOrder`."""
+    order = StreamOrder(order)
+    return _ORDERINGS[order](graph, seed)
+
+
+def stream_to_graph(events: Iterable[EdgeEvent], name: str = "") -> LabelledGraph:
+    """Materialise a stream back into a :class:`LabelledGraph`."""
+    g = LabelledGraph(name)
+    for ev in events:
+        g.add_edge(ev.u, ev.v, ev.u_label, ev.v_label)
+    return g
+
+
+def stream_prefix(events: Iterable[EdgeEvent], n: int) -> List[EdgeEvent]:
+    """The first ``n`` events of a stream, as a list (used by Table 2)."""
+    out: List[EdgeEvent] = []
+    for ev in events:
+        out.append(ev)
+        if len(out) >= n:
+            break
+    return out

@@ -1,0 +1,44 @@
+"""Partition state, streaming partitioners and partition-quality metrics.
+
+Loom (in :mod:`repro.core.loom`) and the three comparison systems of the
+paper's evaluation live on the same abstractions defined here:
+
+* :class:`PartitionState` — a vertex-centric k-way partitioning under a
+  capacity constraint (Sec. 1.3),
+* :class:`StreamingPartitioner` — the one-pass ingest protocol,
+* :class:`HashPartitioner` — the naive baseline used by production graph
+  databases,
+* :class:`LDGPartitioner` — Linear Deterministic Greedy (Stanton & Kliot),
+* :class:`FennelPartitioner` — Fennel (Tsourakakis et al., γ = 1.5),
+* :mod:`repro.partitioning.metrics` — edge-cut, balance and communication
+  volume.
+"""
+
+from repro.partitioning.base import PartitionerStats, StreamingPartitioner, run_partitioner
+from repro.partitioning.state import PartitionState
+from repro.partitioning.hash_partitioner import HashPartitioner
+from repro.partitioning.ldg import LDGPartitioner, ldg_choose
+from repro.partitioning.fennel import FennelPartitioner
+from repro.partitioning.metrics import (
+    communication_volume,
+    cut_fraction,
+    edge_cut,
+    imbalance,
+    partition_quality_summary,
+)
+
+__all__ = [
+    "FennelPartitioner",
+    "HashPartitioner",
+    "LDGPartitioner",
+    "PartitionState",
+    "PartitionerStats",
+    "StreamingPartitioner",
+    "communication_volume",
+    "cut_fraction",
+    "edge_cut",
+    "imbalance",
+    "ldg_choose",
+    "partition_quality_summary",
+    "run_partitioner",
+]

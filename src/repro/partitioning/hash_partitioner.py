@@ -1,0 +1,40 @@
+"""The naive hash partitioner (paper Sec. 5.1, "Hash").
+
+Vertices are assigned by a deterministic hash of their identifier — the
+default placement strategy of many production graph databases (the paper
+cites Titan) and the 100% baseline of Figs. 7 and 8.  It is workload- and
+structure-agnostic, perfectly balanced in expectation, and pays for it with
+the worst ipt of all four systems.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.graph.labelled_graph import Vertex
+from repro.graph.stream import EdgeEvent
+from repro.partitioning.base import StreamingPartitioner
+from repro.partitioning.state import PartitionState
+
+
+def stable_hash(v: Vertex, seed: int = 0) -> int:
+    """A process-independent hash (Python's builtin ``hash`` is salted)."""
+    return zlib.crc32(f"{seed}:{v!r}".encode("utf-8"))
+
+
+class HashPartitioner(StreamingPartitioner):
+    """Assign each vertex to ``hash(v) mod k`` on first sight."""
+
+    name = "hash"
+
+    def __init__(self, state: PartitionState, seed: int = 0) -> None:
+        super().__init__(state)
+        self.seed = seed
+
+    def _place(self, v: Vertex) -> None:
+        if not self.state.is_assigned(v):
+            self.state.assign(v, stable_hash(v, self.seed) % self.state.k)
+
+    def ingest(self, event: EdgeEvent) -> None:
+        self._place(event.u)
+        self._place(event.v)

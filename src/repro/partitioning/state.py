@@ -1,0 +1,123 @@
+"""Vertex-centric partition state (paper Sec. 1.3).
+
+A k-way partitioning is a disjoint family of vertex sets.  In the strict
+streaming model an assignment is permanent — there is no refinement step —
+so :class:`PartitionState` exposes ``assign`` but no "move" operation.
+
+The capacity constraint ``C`` is the per-partition vertex budget used by
+LDG's residual-capacity weight and by Loom's bids (``1 − |V(Si)|/C``); it is
+conventionally ``imbalance · n / k`` for an expected vertex count ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.graph.labelled_graph import Vertex
+
+
+class PartitionState:
+    """Mutable state of a k-way vertex partitioning under construction."""
+
+    def __init__(self, k: int, capacity: float) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.k = k
+        self.capacity = float(capacity)
+        self._assignment: Dict[Vertex, int] = {}
+        self._members: List[Set[Vertex]] = [set() for _ in range(k)]
+
+    @classmethod
+    def for_graph(
+        cls,
+        k: int,
+        expected_vertices: int,
+        imbalance: float = 1.1,
+    ) -> "PartitionState":
+        """Capacity = ``imbalance · n / k``, the convention used throughout."""
+        if expected_vertices < 1:
+            raise ValueError("expected_vertices must be positive")
+        return cls(k, math.ceil(imbalance * expected_vertices / k))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def assign(self, v: Vertex, partition: int) -> None:
+        """Permanently place ``v`` in ``partition``.
+
+        Re-assigning to the *same* partition is a harmless no-op (motif
+        match clusters overlap, so Loom naturally re-assigns); moving an
+        already-placed vertex raises — streaming partitioners never refine.
+        """
+        if not 0 <= partition < self.k:
+            raise IndexError(f"partition {partition} out of range [0, {self.k})")
+        current = self._assignment.get(v)
+        if current is not None:
+            if current != partition:
+                raise ValueError(
+                    f"vertex {v!r} already in partition {current}; streaming assignments are permanent"
+                )
+            return
+        self._assignment[v] = partition
+        self._members[partition].add(v)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def partition_of(self, v: Vertex) -> Optional[int]:
+        return self._assignment.get(v)
+
+    def is_assigned(self, v: Vertex) -> bool:
+        return v in self._assignment
+
+    def size(self, partition: int) -> int:
+        return len(self._members[partition])
+
+    def sizes(self) -> List[int]:
+        return [len(m) for m in self._members]
+
+    def members(self, partition: int) -> Set[Vertex]:
+        """A *copy* of a partition's vertex set."""
+        return set(self._members[partition])
+
+    def residual_capacity(self, partition: int) -> float:
+        """LDG's ``r(Si) = 1 − |V(Si)|/C`` (clamped at 0)."""
+        return max(0.0, 1.0 - len(self._members[partition]) / self.capacity)
+
+    def is_full(self, partition: int) -> bool:
+        return len(self._members[partition]) >= self.capacity
+
+    def open_partitions(self) -> List[int]:
+        """Partitions with remaining capacity (never empty in practice:
+        total capacity ``k·C`` exceeds the vertex count by the slack)."""
+        return [i for i in range(self.k) if len(self._members[i]) < self.capacity]
+
+    def min_size(self) -> int:
+        return min(len(m) for m in self._members)
+
+    def smallest_partition(self) -> int:
+        """Index of the least-loaded partition (lowest index wins ties)."""
+        sizes = self.sizes()
+        return sizes.index(min(sizes))
+
+    def count_in_partition(self, vertices: Iterable[Vertex], partition: int) -> int:
+        """``N(Si, ·)``: how many of ``vertices`` are already in ``partition``."""
+        members = self._members[partition]
+        return sum(1 for v in vertices if v in members)
+
+    def assignment(self) -> Dict[Vertex, int]:
+        """A *copy* of the full vertex → partition map."""
+        return dict(self._assignment)
+
+    @property
+    def num_assigned(self) -> int:
+        return len(self._assignment)
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._assignment
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PartitionState k={self.k} C={self.capacity:g} sizes={self.sizes()}>"

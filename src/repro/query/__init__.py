@@ -1,0 +1,28 @@
+"""Pattern-matching queries: patterns, workloads, matching and execution.
+
+This subpackage is the substrate that turns a partitioning into the paper's
+quality number: it defines labelled pattern graphs (Sec. 1.3), workloads as
+frequency-weighted multisets of patterns, a backtracking sub-graph
+isomorphism engine, and an executor that counts **inter-partition
+traversals** (ipt) over every embedding of every workload query.
+"""
+
+from repro.query.pattern import PatternGraph, cycle_pattern, edge_pattern, path_pattern, star_pattern
+from repro.query.workload import Workload, WorkloadQuery
+from repro.query.isomorphism import count_embeddings, find_embeddings
+from repro.query.executor import ExecutionReport, QueryReport, WorkloadExecutor
+
+__all__ = [
+    "ExecutionReport",
+    "PatternGraph",
+    "QueryReport",
+    "Workload",
+    "WorkloadExecutor",
+    "WorkloadQuery",
+    "count_embeddings",
+    "cycle_pattern",
+    "edge_pattern",
+    "find_embeddings",
+    "path_pattern",
+    "star_pattern",
+]

@@ -1,0 +1,88 @@
+"""Plain-text serialisation for patterns and workloads.
+
+Workload file format (one record per line, ``#`` comments ignored)::
+
+    q <name> <weight>          # starts a query; weight is relative
+    p <u> <u_label> <v> <v_label>   # one pattern edge of the current query
+
+Pattern vertex ids are local to their query.  Example — the paper's Fig. 1
+workload::
+
+    q q1 0.30
+    p 0 a 1 b
+    p 1 b 2 a
+    p 2 a 3 b
+    p 3 b 0 a
+    q q2 0.60
+    p 0 a 1 b
+    p 1 b 2 c
+    q q3 0.10
+    p 0 a 1 b
+    p 1 b 2 c
+    p 2 c 3 d
+
+This is the on-disk face of the library's CLI (``python -m repro.partition``)
+and lets users bring their own workloads without writing Python.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.query.pattern import PatternGraph
+from repro.query.workload import Workload
+
+PathLike = Union[str, Path]
+
+
+def write_workload(workload: Workload, path: PathLike) -> None:
+    """Write ``workload`` in the ``q``/``p`` line format."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(f"# workload {workload.name!r}: {len(workload)} queries\n")
+        for entry in workload:
+            f.write(f"q {entry.pattern.name} {entry.frequency}\n")
+            for u, v in sorted(entry.pattern.edges(), key=repr):
+                f.write(
+                    f"p {u} {entry.pattern.label(u)} {v} {entry.pattern.label(v)}\n"
+                )
+
+
+def _parse_vertex(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def read_workload(path: PathLike, name: str = "") -> Workload:
+    """Read a workload previously written by :func:`write_workload` (or
+    hand-authored in the same format)."""
+    entries: List[Tuple[PatternGraph, float]] = []
+    current: PatternGraph = None  # type: ignore[assignment]
+    weight = 0.0
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            kind = parts[0]
+            if kind == "q" and len(parts) == 3:
+                if current is not None:
+                    entries.append((current, weight))
+                current = PatternGraph(parts[1])
+                weight = float(parts[2])
+            elif kind == "p" and len(parts) == 5:
+                if current is None:
+                    raise ValueError(f"{path}:{lineno}: pattern edge before any 'q' record")
+                current.add_edge(
+                    _parse_vertex(parts[1]), _parse_vertex(parts[3]), parts[2], parts[4]
+                )
+            else:
+                raise ValueError(f"{path}:{lineno}: unrecognised record {line!r}")
+    if current is not None:
+        entries.append((current, weight))
+    if not entries:
+        raise ValueError(f"{path}: no queries found")
+    return Workload(entries, name or Path(path).stem)

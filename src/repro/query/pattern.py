@@ -1,0 +1,85 @@
+"""Pattern graphs for sub-graph pattern-matching queries (paper Sec. 1.3).
+
+A pattern graph ``q = (Vq, Eq)`` is a small connected labelled graph; a query
+returns the sub-graphs of the data graph isomorphic to it (label-preserving).
+:class:`PatternGraph` is a thin, validated wrapper over
+:class:`~repro.graph.labelled_graph.LabelledGraph` plus convenience
+constructors for the shapes that appear throughout the paper: single edges,
+label paths (``a-b-c``), cycles (q1 of Fig. 1) and stars.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.graph.labelled_graph import LabelledGraph, Vertex
+
+
+class PatternGraph(LabelledGraph):
+    """A connected labelled graph used as a query pattern.
+
+    Connectivity is what the TPSTry++ construction and the stream matcher
+    assume (every query sub-graph grows edge-by-edge while staying
+    connected); :meth:`validate` enforces it.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name)
+
+    def validate(self) -> "PatternGraph":
+        """Check the pattern is non-empty and connected; returns ``self``."""
+        if self.num_edges == 0:
+            raise ValueError(f"pattern {self.name!r} must contain at least one edge")
+        if not self.is_connected():
+            raise ValueError(f"pattern {self.name!r} must be connected")
+        return self
+
+    @classmethod
+    def from_labelled_edges(
+        cls,
+        edges: Iterable[Tuple[Vertex, str, Vertex, str]],
+        name: str = "",
+    ) -> "PatternGraph":
+        """Build and validate a pattern from ``(u, u_label, v, v_label)`` rows."""
+        pattern = cls(name)
+        for u, lu, v, lv in edges:
+            pattern.add_edge(u, v, lu, lv)
+        return pattern.validate()
+
+    def label_sequence(self) -> List[str]:
+        """Sorted multiset of vertex labels, handy for naming and tests."""
+        return sorted(self.labels().values())
+
+
+def edge_pattern(label_a: str, label_b: str, name: str = "") -> PatternGraph:
+    """A single-edge pattern ``a-b`` (e.g. q1 in Fig. 1)."""
+    return PatternGraph.from_labelled_edges(
+        [(0, label_a, 1, label_b)],
+        name or f"{label_a}-{label_b}",
+    )
+
+
+def path_pattern(labels: Sequence[str], name: str = "") -> PatternGraph:
+    """A simple path visiting ``labels`` in order (e.g. q2 = a-b-c)."""
+    if len(labels) < 2:
+        raise ValueError("a path pattern needs at least two labels")
+    rows = [(i, labels[i], i + 1, labels[i + 1]) for i in range(len(labels) - 1)]
+    return PatternGraph.from_labelled_edges(rows, name or "-".join(labels))
+
+
+def cycle_pattern(labels: Sequence[str], name: str = "") -> PatternGraph:
+    """A simple cycle through ``labels`` (e.g. the a-b-a-b square of Fig. 1)."""
+    if len(labels) < 3:
+        raise ValueError("a cycle pattern needs at least three labels")
+    rows = [(i, labels[i], (i + 1) % len(labels), labels[(i + 1) % len(labels)]) for i in range(len(labels))]
+    return PatternGraph.from_labelled_edges(rows, name or ("cycle:" + "-".join(labels)))
+
+
+def star_pattern(center_label: str, leaf_labels: Sequence[str], name: str = "") -> PatternGraph:
+    """A star: one ``center_label`` vertex joined to each leaf label."""
+    if not leaf_labels:
+        raise ValueError("a star pattern needs at least one leaf")
+    rows = [(0, center_label, i + 1, leaf) for i, leaf in enumerate(leaf_labels)]
+    return PatternGraph.from_labelled_edges(
+        rows, name or (f"star:{center_label}(" + ",".join(leaf_labels) + ")")
+    )

@@ -1,0 +1,93 @@
+"""Query workloads: frequency-weighted multisets of pattern graphs.
+
+The paper (Sec. 1.3) defines a workload ``Q = {(q1, n1) … (qh, nh)}`` where
+``ni`` is the relative frequency of ``qi``.  Frequencies here are kept
+normalised (they sum to 1), matching the percentages used in Fig. 1
+(q1: 30%, q2: 60%, q3: 10%) and the support values of the TPSTry++.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.query.pattern import PatternGraph
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One workload entry: a pattern and its (normalised) frequency."""
+
+    pattern: PatternGraph
+    frequency: float
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0:
+            raise ValueError(f"query {self.pattern.name!r} frequency must be positive")
+
+
+class Workload:
+    """An immutable, normalised pattern-matching query workload."""
+
+    def __init__(self, entries: Iterable[Tuple[PatternGraph, float]], name: str = "") -> None:
+        raw: List[Tuple[PatternGraph, float]] = []
+        for pattern, weight in entries:
+            if weight <= 0:
+                raise ValueError(f"query {pattern.name!r} weight must be positive, got {weight}")
+            raw.append((pattern.validate(), float(weight)))
+        if not raw:
+            raise ValueError("a workload must contain at least one query")
+        total = sum(w for _, w in raw)
+        self.name = name
+        self._queries: Tuple[WorkloadQuery, ...] = tuple(
+            WorkloadQuery(pattern, weight / total) for pattern, weight in raw
+        )
+
+    # -- container protocol ------------------------------------------------
+    def __iter__(self) -> Iterator[WorkloadQuery]:
+        return iter(self._queries)
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __getitem__(self, i: int) -> WorkloadQuery:
+        return self._queries[i]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{q.pattern.name}:{q.frequency:.0%}" for q in self._queries)
+        return f"<Workload {self.name!r} [{parts}]>"
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def queries(self) -> Sequence[WorkloadQuery]:
+        return self._queries
+
+    def patterns(self) -> List[PatternGraph]:
+        return [q.pattern for q in self._queries]
+
+    def frequencies(self) -> Dict[str, float]:
+        """Pattern name → frequency (names should be unique per workload)."""
+        return {q.pattern.name: q.frequency for q in self._queries}
+
+    def label_set(self) -> Set[str]:
+        """All vertex labels mentioned by any query (feeds the signatures)."""
+        labels: Set[str] = set()
+        for q in self._queries:
+            labels |= q.pattern.label_set()
+        return labels
+
+    def max_pattern_edges(self) -> int:
+        """``|Eq|`` of the largest query graph — bounds trie depth and the
+        size of any graph whose signature Loom ever computes (Sec. 2.3)."""
+        return max(q.pattern.num_edges for q in self._queries)
+
+    def reweighted(self, weights: Dict[str, float], name: str = "") -> "Workload":
+        """A new workload with updated frequencies (workload drift support).
+
+        ``weights`` maps pattern names to new relative weights; patterns not
+        mentioned keep their current frequency as the relative weight.
+        """
+        entries = [
+            (q.pattern, weights.get(q.pattern.name, q.frequency)) for q in self._queries
+        ]
+        return Workload(entries, name or self.name)

@@ -1,0 +1,92 @@
+"""Shared fixtures: the paper's running examples and small graphs.
+
+Also ensures ``src/`` is importable even without an installed package (the
+offline environment installs via ``python setup.py develop``; this shim
+keeps ``pytest`` working from a bare checkout too).
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+import random
+
+import pytest
+
+from repro.core.motifs import MotifIndex
+from repro.core.signature import SignatureScheme
+from repro.core.tpstry import TPSTry
+from repro.datasets.figure1 import figure1_graph, figure1_workload
+from repro.graph.labelled_graph import LabelledGraph
+from repro.query.pattern import path_pattern
+from repro.query.workload import Workload
+
+
+@pytest.fixture
+def fig1_graph() -> LabelledGraph:
+    return figure1_graph()
+
+
+@pytest.fixture
+def fig1_workload() -> Workload:
+    return figure1_workload()
+
+
+@pytest.fixture
+def fig1_trie(fig1_workload) -> TPSTry:
+    return TPSTry.from_workload(fig1_workload)
+
+
+@pytest.fixture
+def fig1_index(fig1_trie) -> MotifIndex:
+    return MotifIndex(fig1_trie, 0.4)
+
+
+@pytest.fixture
+def paper_scheme() -> SignatureScheme:
+    """The worked example of Sec. 2.1: p = 11, r(a) = 3, r(b) = 10."""
+    return SignatureScheme(p=11).with_values({"a": 3, "b": 10})
+
+
+@pytest.fixture
+def fig5_workload() -> Workload:
+    """A workload whose 40% motifs are exactly the six of Fig. 5:
+    a-b, b-c, a-b-c, a-b-a, b-a-b and the path a-b-a-b."""
+    return Workload(
+        [
+            (path_pattern(["a", "b", "a", "b"], name="abab"), 0.5),
+            (path_pattern(["a", "b", "c"], name="abc"), 0.5),
+        ],
+        name="fig5",
+    )
+
+
+def make_random_labelled_graph(
+    num_vertices: int = 60,
+    num_edges: int = 120,
+    labels=("a", "b", "c"),
+    seed: int = 0,
+) -> LabelledGraph:
+    """A connected-ish random labelled graph for integration tests."""
+    rng = random.Random(seed)
+    g = LabelledGraph(f"random-{seed}")
+    for v in range(num_vertices):
+        g.add_vertex(v, rng.choice(labels))
+    # Spanning chain first so streams visit everything.
+    for v in range(1, num_vertices):
+        g.add_edge(v - 1, v)
+    added = num_vertices - 1
+    while added < num_edges:
+        u, v = rng.randrange(num_vertices), rng.randrange(num_vertices)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+            added += 1
+    return g
+
+
+@pytest.fixture
+def random_graph() -> LabelledGraph:
+    return make_random_labelled_graph()

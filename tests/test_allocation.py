@@ -1,0 +1,179 @@
+"""Tests for equal-opportunism allocation (Sec. 4, Eqs. 1-3)."""
+
+import pytest
+
+from repro.core.allocation import AllocationDecision, EqualOpportunism
+from repro.core.matching import Match
+from repro.graph.labelled_graph import normalize_edge
+from repro.partitioning.state import PartitionState
+
+
+@pytest.fixture
+def ab_node(fig1_index):
+    return fig1_index.single_edge_motif("a", "b")
+
+
+@pytest.fixture
+def abc_node(fig1_trie):
+    from repro.query.pattern import path_pattern
+
+    return fig1_trie.node_for_graph(path_pattern(["a", "b", "c"]))
+
+
+def single_match(node, u=1, v=2) -> Match:
+    return Match(frozenset([normalize_edge(u, v)]), node)
+
+
+class TestRation:
+    def test_smallest_partition_gets_full_ration(self, ab_node):
+        state = PartitionState(2, 100)
+        eo = EqualOpportunism(state)
+        assert eo.ration(0) == 1.0
+        assert eo.ration(1) == 1.0
+
+    def test_paper_worked_example(self, ab_node):
+        """Sec. 4's example: S1 33.3% larger than S2 => l(S1) = 1/2."""
+        state = PartitionState(2, 1000)
+        for v in range(40):
+            state.assign(("s1", v), 0)
+        for v in range(30):
+            state.assign(("s2", v), 1)
+        eo = EqualOpportunism(state, alpha=2.0 / 3.0)
+        assert eo.ration(0) == pytest.approx(0.5)
+        assert eo.ration(1) == 1.0
+
+    def test_full_partition_rations_to_zero(self, ab_node):
+        state = PartitionState(2, 4)
+        for v in range(4):
+            state.assign(v, 0)
+        eo = EqualOpportunism(state)
+        assert eo.ration(0) == 0.0
+
+    def test_rationing_disabled(self, ab_node):
+        state = PartitionState(2, 1000)
+        for v in range(40):
+            state.assign(v, 0)
+        eo = EqualOpportunism(state, rationing_enabled=False)
+        assert eo.ration(0) == 1.0
+
+    def test_alpha_validation(self):
+        state = PartitionState(2, 10)
+        with pytest.raises(ValueError):
+            EqualOpportunism(state, alpha=0.0)
+        with pytest.raises(ValueError):
+            EqualOpportunism(state, balance_cap=0.9)
+
+
+class TestBid:
+    def test_bid_formula(self, ab_node):
+        """bid = N(Si, Ek) * (1 - |V(Si)|/C) * supp(mk) — Eq. 1."""
+        state = PartitionState(2, 10)
+        state.assign(1, 0)
+        eo = EqualOpportunism(state)
+        match = single_match(ab_node)  # vertices {1, 2}, support 1.0
+        expected = 1 * (1 - 1 / 10) * 1.0
+        assert eo.bid(0, match) == pytest.approx(expected)
+
+    def test_bid_zero_without_overlap(self, ab_node):
+        state = PartitionState(2, 10)
+        eo = EqualOpportunism(state)
+        assert eo.bid(0, single_match(ab_node)) == 0.0
+
+    def test_support_weighting_off(self, abc_node):
+        state = PartitionState(2, 10)
+        state.assign(1, 0)
+        match = Match(frozenset([normalize_edge(1, 2), normalize_edge(2, 3)]), abc_node)
+        on = EqualOpportunism(state, support_weighting=True).bid(0, match)
+        off = EqualOpportunism(state, support_weighting=False).bid(0, match)
+        assert on == pytest.approx(off * abc_node.support)
+
+    def test_neighbor_aware_bid_counts_adjacency(self, ab_node):
+        state = PartitionState(2, 10)
+        state.assign(99, 0)  # a neighbour of vertex 1, already placed
+        adj = {1: {99}, 2: set()}
+        eo = EqualOpportunism(state, neighbor_fn=lambda v: adj.get(v, ()))
+        match = single_match(ab_node)
+        assert eo.bid(0, match) > 0.0
+
+
+class TestAllocate:
+    def test_winner_takes_overlapping_cluster(self, ab_node, abc_node):
+        state = PartitionState(2, 100)
+        state.assign(2, 0)  # vertex 2 already in partition 0
+        eo = EqualOpportunism(state)
+        m1 = single_match(ab_node, 1, 2)
+        m2 = Match(frozenset([normalize_edge(1, 2), normalize_edge(2, 3)]), abc_node)
+        decision = eo.allocate([m1, m2])
+        assert decision.winner == 0
+        assert not decision.fallback
+        assert state.partition_of(1) == 0
+        assert state.partition_of(3) == 0
+
+    def test_all_vertices_of_prefix_assigned(self, ab_node):
+        state = PartitionState(2, 100)
+        eo = EqualOpportunism(state)
+        decision = eo.allocate([single_match(ab_node, 5, 6)])
+        assert decision.assigned_vertices == {5, 6}
+        assert state.partition_of(5) == state.partition_of(6)
+
+    def test_fallback_when_no_overlap(self, ab_node):
+        state = PartitionState(2, 100)
+        eo = EqualOpportunism(state)
+        decision = eo.allocate([single_match(ab_node)])
+        assert decision.fallback
+
+    def test_fallback_chooser_used(self, ab_node):
+        state = PartitionState(4, 100)
+        eo = EqualOpportunism(state)
+        decision = eo.allocate([single_match(ab_node)], fallback_chooser=lambda vs: 3)
+        assert decision.winner == 3
+        assert state.partition_of(1) == 3
+
+    def test_fallback_prefers_least_loaded(self, ab_node):
+        state = PartitionState(2, 100)
+        state.assign(("pad", 0), 0)
+        state.assign(("pad", 1), 0)
+        eo = EqualOpportunism(state)
+        decision = eo.allocate([single_match(ab_node)])
+        assert decision.winner == 1
+
+    def test_empty_cluster_rejected(self, ab_node):
+        eo = EqualOpportunism(PartitionState(2, 10))
+        with pytest.raises(ValueError):
+            eo.allocate([])
+
+    def test_at_least_one_match_assigned(self, ab_node):
+        """Even a fully-rationed winner takes the evicted edge's match."""
+        state = PartitionState(2, 3)
+        state.assign(("pad", 0), 0)
+        state.assign(("pad", 1), 0)
+        state.assign(("pad", 2), 1)
+        eo = EqualOpportunism(state)
+        decision = eo.allocate([single_match(ab_node)])
+        assert len(decision.assigned_matches) == 1
+
+    def test_rationed_winner_takes_prefix_only(self, ab_node, abc_node):
+        """A larger partition bids on (and takes) a support-sorted prefix."""
+        state = PartitionState(2, 1000)
+        for v in range(40):
+            state.assign(("s1", v), 0)
+        for v in range(30):
+            state.assign(("s2", v), 1)
+        state.assign(2, 0)  # overlap pulls toward partition 0 (the larger)
+        eo = EqualOpportunism(state)
+        m1 = single_match(ab_node, 1, 2)
+        m2 = Match(frozenset([normalize_edge(1, 2), normalize_edge(2, 3)]), abc_node)
+        m3 = Match(frozenset([normalize_edge(1, 2), normalize_edge(2, 4)]), abc_node)
+        m4 = Match(frozenset([normalize_edge(1, 2), normalize_edge(2, 5)]), abc_node)
+        decision = eo.allocate([m1, m2, m3, m4])
+        assert decision.winner == 0
+        # l(S0) = 0.5 => ceil(0.5 * 4) = 2 matches taken, not all 4.
+        assert len(decision.assigned_matches) == 2
+        assert not state.is_assigned(5)
+
+    def test_tie_goes_to_smaller_partition(self, ab_node):
+        state = PartitionState(2, 100)
+        state.assign(("pad", 0), 0)  # partition 0 bigger, no overlap anywhere
+        eo = EqualOpportunism(state)
+        decision = eo.allocate([single_match(ab_node)])
+        assert decision.winner == 1

@@ -1,0 +1,94 @@
+"""Tests for the ASCII chart rendering used by the benchmark CLI."""
+
+from repro.bench.charts import bar_chart, grouped_bar_chart, line_plot
+
+
+class TestBarChart:
+    def test_scales_to_max(self):
+        text = bar_chart({"a": 50.0, "b": 100.0}, width=10, max_value=100.0)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 5
+        assert lines[1].count("█") == 10
+
+    def test_values_beyond_max_are_clamped(self):
+        text = bar_chart({"x": 150.0}, width=10, max_value=100.0)
+        assert text.count("█") == 10
+
+    def test_unit_and_title(self):
+        text = bar_chart({"x": 1.0}, unit="%", title="T")
+        assert text.splitlines()[0] == "T"
+        assert text.endswith("1%")
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart({})
+
+    def test_zero_scale_safe(self):
+        assert "0" in bar_chart({"x": 0.0})
+
+
+class TestGroupedBarChart:
+    def test_one_block_per_group(self):
+        rows = [
+            {"cell": "g1", "hash": 100.0, "loom": 50.0},
+            {"cell": "g2", "hash": 100.0, "loom": 75.0},
+        ]
+        text = grouped_bar_chart(rows, "cell", ("hash", "loom"), width=8)
+        assert text.count("-- g") == 2
+        assert "loom" in text
+
+    def test_missing_series_skipped(self):
+        rows = [{"cell": "g", "hash": 100.0}]
+        text = grouped_bar_chart(rows, "cell", ("hash", "loom"))
+        assert "hash" in text
+        assert "loom |" not in text
+
+
+class TestLinePlot:
+    def test_contains_markers_and_axes(self):
+        text = line_plot([1, 2, 3, 4], {"series": [10.0, 20.0, 15.0, 30.0]}, height=6, width=20)
+        assert "s" in text  # marker = first letter
+        assert "+--" in text
+        assert "s = series" in text
+
+    def test_descending_curve_orientation(self):
+        """A falling series must place its marker higher at small x."""
+        text = line_plot([0, 10], {"y": [100.0, 0.0]}, height=5, width=11)
+        rows = [line for line in text.splitlines() if "|" in line]
+        first_marker_row = next(i for i, r in enumerate(rows) if "y" in r.split("|")[1][:2])
+        last_marker_row = next(i for i, r in enumerate(rows) if "y" in r.split("|")[1][-2:])
+        assert first_marker_row < last_marker_row
+
+    def test_flat_series_safe(self):
+        text = line_plot([1, 2], {"y": [5.0, 5.0]})
+        assert "y" in text
+
+    def test_empty(self):
+        assert "(no data)" in line_plot([], {})
+
+
+class TestCliCharts:
+    def test_figure9_cli_renders_plot(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["figure9", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "Loom ipt vs window" in out
+        assert "+--" in out
+
+    def test_figure7_chart_shape(self):
+        from repro.bench.__main__ import _chart_for
+        from repro.bench.experiments import ExperimentResult
+
+        result = ExperimentResult(name="figure7", title="t")
+        result.rows = [
+            {"dataset": "d", "order": "bfs", "k": 8, "hash": 100.0, "ldg": 70.0, "fennel": 60.0, "loom": 50.0}
+        ]
+        chart = _chart_for("figure7", result)
+        assert "d (order=bfs)" in chart
+        assert "hash" in chart and "loom" in chart
+
+    def test_table_experiments_have_no_chart(self):
+        from repro.bench.__main__ import _chart_for
+        from repro.bench.experiments import ExperimentResult
+
+        assert _chart_for("table1", ExperimentResult(name="table1", title="t")) == ""

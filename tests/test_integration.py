@@ -1,0 +1,105 @@
+"""End-to-end integration tests: the full pipeline at small scale.
+
+These lock in the paper's qualitative results (the shapes the benchmarks
+regenerate at full scale): workload-aware beats workload-agnostic on ipt,
+every system assigns every vertex, and Loom's window recovers locality on
+randomly-ordered (pseudo-adversarial) streams.
+"""
+
+import pytest
+
+from repro.bench.harness import compare_systems
+from repro.core.loom import LoomPartitioner
+from repro.datasets.registry import load_dataset
+from repro.graph.stream import stream_edges
+from repro.partitioning.fennel import FennelPartitioner
+from repro.partitioning.hash_partitioner import HashPartitioner
+from repro.partitioning.ldg import LDGPartitioner
+from repro.partitioning.metrics import imbalance, unassigned_vertices
+from repro.partitioning.state import PartitionState
+from repro.query.executor import WorkloadExecutor
+
+
+@pytest.fixture(scope="module")
+def provgen():
+    return load_dataset("provgen", 900, seed=4)
+
+
+@pytest.fixture(scope="module")
+def musicbrainz():
+    return load_dataset("musicbrainz", 1200, seed=4)
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("order", ["bfs", "dfs", "random"])
+    def test_all_systems_complete_and_comparable(self, provgen, order):
+        result = compare_systems(provgen, order=order, k=4, window_size=120, seed=3)
+        for name, run in result.runs.items():
+            assert unassigned_vertices(provgen.graph, run.state) == []
+            assert run.report is not None
+        # Hash is the baseline: everything should do at least as well.
+        for system in ("ldg", "fennel", "loom"):
+            assert result.relative_ipt(system) <= 110.0
+
+    def test_loom_beats_hash_clearly(self, provgen):
+        result = compare_systems(provgen, order="bfs", k=4, window_size=120, seed=3)
+        assert result.relative_ipt("loom") < 80.0
+
+    def test_loom_beats_workload_agnostic_on_random_order(self, musicbrainz):
+        """Sec. 5.3: random order is pseudo-adversarial for LDG/Fennel; the
+        window lets Loom re-localise the stream."""
+        result = compare_systems(musicbrainz, order="random", k=4, window_size=250, seed=3)
+        assert result.relative_ipt("loom") < result.relative_ipt("ldg")
+        assert result.relative_ipt("loom") < result.relative_ipt("fennel") + 2.0
+
+    def test_imbalance_within_cap(self, provgen):
+        result = compare_systems(provgen, order="bfs", k=4, window_size=120, seed=3)
+        for system in ("ldg", "fennel", "loom"):
+            state = result.runs[system].state
+            assert max(state.sizes()) <= state.capacity
+
+    def test_quality_summary_populated(self, provgen):
+        result = compare_systems(provgen, order="bfs", k=4, window_size=120, seed=3)
+        for run in result.runs.values():
+            assert run.quality["edge_cut"] >= 0
+            assert run.quality["assigned_vertices"] == provgen.graph.num_vertices
+
+
+class TestWindowEffect:
+    def test_bigger_window_no_worse_on_random_order(self, musicbrainz):
+        """Fig. 9's direction: growing the window improves (or at least
+        does not substantially hurt) Loom on random streams."""
+        g, wl = musicbrainz.graph, musicbrainz.workload
+        events = list(stream_edges(g, "random", seed=5))
+        executor = WorkloadExecutor(g, wl)
+        ipts = []
+        for window in (30, 600):
+            state = PartitionState.for_graph(4, g.num_vertices)
+            loom = LoomPartitioner(state, wl, window_size=window)
+            loom.ingest_all(events)
+            ipts.append(executor.execute(state).weighted_ipt)
+        assert ipts[1] <= ipts[0] * 1.05
+
+
+class TestCrossSystemDeterminism:
+    def test_identical_reruns(self, provgen):
+        a = compare_systems(provgen, order="random", k=4, window_size=100, seed=9)
+        b = compare_systems(provgen, order="random", k=4, window_size=100, seed=9)
+        for system in a.runs:
+            assert a.runs[system].state.assignment() == b.runs[system].state.assignment()
+            assert a.relative_ipt(system) == b.relative_ipt(system)
+
+
+class TestWorkloadSensitivity:
+    def test_loom_adapts_to_workload_change(self, provgen):
+        """Different workloads should steer Loom to different partitionings
+        (the whole point of query-awareness)."""
+        g = provgen.graph
+        wl_a = provgen.workload
+        wl_b = wl_a.reweighted({"revision-chain": 10.0})
+        events = list(stream_edges(g, "bfs", seed=1))
+        state_a = PartitionState.for_graph(4, g.num_vertices)
+        LoomPartitioner(state_a, wl_a, window_size=120).ingest_all(events)
+        state_b = PartitionState.for_graph(4, g.num_vertices)
+        LoomPartitioner(state_b, wl_b, window_size=120).ingest_all(events)
+        assert state_a.assignment() != state_b.assignment()

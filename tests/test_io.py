@@ -1,0 +1,59 @@
+"""Tests for graph and stream serialisation."""
+
+import pytest
+
+from repro.graph.io import read_graph, read_stream, write_graph, write_stream
+from repro.graph.stream import stream_edges
+
+
+class TestGraphRoundTrip:
+    def test_round_trip(self, tmp_path, random_graph):
+        path = tmp_path / "g.txt"
+        write_graph(random_graph, path)
+        back = read_graph(path)
+        assert back.num_vertices == random_graph.num_vertices
+        assert set(back.edges()) == set(random_graph.edges())
+        assert back.labels() == random_graph.labels()
+
+    def test_name_defaults_to_stem(self, tmp_path, random_graph):
+        path = tmp_path / "mygraph.txt"
+        write_graph(random_graph, path)
+        assert read_graph(path).name == "mygraph"
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# hi\n\nv 1 a\nv 2 b\ne 1 2\n")
+        g = read_graph(path)
+        assert g.num_edges == 1
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("v 1 a\nwhat is this\n")
+        with pytest.raises(ValueError, match="bad.txt:2"):
+            read_graph(path)
+
+    def test_string_vertex_ids_preserved(self, tmp_path):
+        from repro.graph.labelled_graph import LabelledGraph
+
+        g = LabelledGraph.from_edges([("x1", "a", "y2", "b")])
+        path = tmp_path / "s.txt"
+        write_graph(g, path)
+        back = read_graph(path)
+        assert back.has_edge("x1", "y2")
+
+
+class TestStreamRoundTrip:
+    def test_round_trip_preserves_order(self, tmp_path, random_graph):
+        events = list(stream_edges(random_graph, "random", seed=3))
+        path = tmp_path / "stream.txt"
+        count = write_stream(events, path)
+        assert count == len(events)
+        back = read_stream(path)
+        assert [e.edge for e in back] == [e.edge for e in events]
+        assert [e.u_label for e in back] == [e.u_label for e in events]
+
+    def test_malformed_stream_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("s 1 a 2\n")
+        with pytest.raises(ValueError):
+            read_stream(path)

@@ -1,0 +1,197 @@
+"""Tests for stream motif matching (Sec. 3, Alg. 2), anchored on Fig. 5."""
+
+import pytest
+
+from repro.core.matching import Match, MatchList, StreamMatcher
+from repro.core.motifs import MotifIndex
+from repro.core.tpstry import TPSTry
+from repro.graph.labelled_graph import normalize_edge
+from repro.graph.stream import EdgeEvent
+
+
+def build_matcher(workload, window=100, **kwargs) -> StreamMatcher:
+    trie = TPSTry.from_workload(workload)
+    return StreamMatcher(MotifIndex(trie, 0.4), window, **kwargs)
+
+
+def match_shapes(matcher: StreamMatcher, vertex):
+    """The {(edge-set, motif-label-multiset)} view of matchList[vertex]."""
+    return {
+        (m.edges, tuple(sorted(m.node.exemplar.labels().values())))
+        for m in matcher.matchlist.matches_at(vertex)
+    }
+
+
+# Fig. 5's stream: vertices 1a 2b 3a 4b 5c, edges arriving e1..e5.
+E1 = EdgeEvent(1, "a", 2, "b")
+E2 = EdgeEvent(3, "a", 4, "b")
+E3 = EdgeEvent(4, "b", 5, "c")
+E4 = EdgeEvent(2, "b", 5, "c")
+E5 = EdgeEvent(2, "b", 3, "a")
+
+
+class TestFigure5Scenario:
+    def test_single_edge_matches(self, fig5_workload):
+        m = build_matcher(fig5_workload)
+        assert m.offer(E1)
+        assert match_shapes(m, 1) == {(frozenset([E1.edge]), ("a", "b"))}
+        assert match_shapes(m, 2) == {(frozenset([E1.edge]), ("a", "b"))}
+
+    def test_extension_creates_abc_match(self, fig5_workload):
+        """Adding e3 to e2 forms the a-b-c match (the paper's walkthrough)."""
+        m = build_matcher(fig5_workload)
+        m.offer(E1)
+        m.offer(E2)
+        m.offer(E3)
+        expected = (frozenset([E2.edge, E3.edge]), ("a", "b", "c"))
+        assert expected in match_shapes(m, 3)
+        assert expected in match_shapes(m, 4)
+        assert expected in match_shapes(m, 5)
+
+    def test_e4_forms_second_abc_match(self, fig5_workload):
+        m = build_matcher(fig5_workload)
+        for e in (E1, E2, E3, E4):
+            m.offer(e)
+        expected = (frozenset([E1.edge, E4.edge]), ("a", "b", "c"))
+        assert expected in match_shapes(m, 1)
+        assert expected in match_shapes(m, 5)
+
+    def test_e5_forms_aba_bab_and_abab(self, fig5_workload):
+        """e5 = (2,3) creates m4 = a-b-a, m5 = b-a-b and, through a pair
+        join with the existing ⟨e2, m1⟩, the m6 = a-b-a-b match."""
+        m = build_matcher(fig5_workload)
+        for e in (E1, E2, E3, E4, E5):
+            m.offer(e)
+        shapes2 = match_shapes(m, 2)
+        assert (frozenset([E1.edge, E5.edge]), ("a", "a", "b")) in shapes2
+        assert (frozenset([E2.edge, E5.edge]), ("a", "b", "b")) in shapes2
+        abab = (frozenset([E1.edge, E2.edge, E5.edge]), ("a", "a", "b", "b"))
+        for vertex in (1, 2, 3, 4):
+            assert abab in match_shapes(m, vertex)
+        assert m.stats["pair_joins"] >= 1
+
+    def test_eviction_order_and_me(self, fig5_workload):
+        m = build_matcher(fig5_workload)
+        for e in (E1, E2, E3, E4, E5):
+            m.offer(e)
+        eviction = m.next_eviction()
+        assert eviction.event is E1
+        # Every match in Me contains the evicted edge.
+        assert all(E1.edge in match.edges for match in eviction.matches)
+        # Sorted by support, descending; the single-edge match leads.
+        supports = [match.support for match in eviction.matches]
+        assert supports == sorted(supports, reverse=True)
+        assert eviction.matches[0].edges == frozenset([E1.edge])
+
+
+class TestGate:
+    def test_non_motif_edge_bypasses_window(self, fig1_workload):
+        m = build_matcher(fig1_workload)
+        assert not m.offer(EdgeEvent(1, "c", 2, "d"))  # c-d: 10% support
+        assert m.pending() == 0
+        assert m.stats["edges_bypassed"] == 1
+
+    def test_unknown_labels_bypass(self, fig1_workload):
+        m = build_matcher(fig1_workload)
+        assert not m.offer(EdgeEvent(1, "z", 2, "z"))
+
+    def test_motif_edge_enters_window(self, fig1_workload):
+        m = build_matcher(fig1_workload)
+        assert m.offer(EdgeEvent(1, "a", 2, "b"))
+        assert m.pending() == 1
+
+
+class TestClusterRemoval:
+    def test_remove_cluster_drops_touching_matches(self, fig5_workload):
+        m = build_matcher(fig5_workload)
+        for e in (E1, E2, E3, E4, E5):
+            m.offer(e)
+        m.remove_cluster({E1.edge})
+        for vertex in (1, 2, 3, 4, 5):
+            for match in m.matchlist.matches_at(vertex):
+                assert E1.edge not in match.edges
+        # e5's own single-edge match must survive.
+        assert (frozenset([E5.edge]), ("a", "b")) in match_shapes(m, 2)
+
+    def test_window_and_matchlist_stay_consistent(self, fig5_workload):
+        m = build_matcher(fig5_workload)
+        for e in (E1, E2, E3, E4, E5):
+            m.offer(e)
+        m.remove_cluster({E1.edge, E2.edge})
+        window_edges = set(m.window.edges())
+        for match in m.matchlist.all_matches():
+            assert match.edges <= window_edges
+
+
+class TestMatchInvariants:
+    def test_matches_are_connected_and_isomorphic_to_motif(self, fig5_workload):
+        """Every match's edge set must actually be isomorphic (including
+        labels) to its motif node's exemplar — checked with networkx."""
+        import networkx as nx
+        from networkx.algorithms.isomorphism import categorical_node_match
+
+        m = build_matcher(fig5_workload)
+        for e in (E1, E2, E3, E4, E5):
+            m.offer(e)
+        for match in m.matchlist.all_matches():
+            sub = m.window.graph.edge_subgraph(match.edges)
+            assert sub.is_connected()
+            assert nx.is_isomorphic(
+                sub.to_networkx(),
+                match.node.exemplar.to_networkx(),
+                node_match=categorical_node_match("label", None),
+            )
+
+    def test_cap_limits_matches_per_vertex(self, fig5_workload):
+        m = build_matcher(fig5_workload, max_matches_per_vertex=1)
+        for e in (E1, E2, E3, E4, E5):
+            m.offer(e)
+        # The mandatory single-edge matches always register; everything
+        # beyond the cap is suppressed.
+        for v in (1, 2, 3, 4, 5):
+            multi = [x for x in m.matchlist.matches_at(v) if x.num_edges > 1]
+            assert not multi
+        assert m.stats["capped_registrations"] > 0
+
+    def test_cap_validation(self, fig5_workload):
+        with pytest.raises(ValueError):
+            build_matcher(fig5_workload, max_matches_per_vertex=0)
+
+
+class TestMatchAndMatchList:
+    def test_match_equality_and_hash(self, fig1_index):
+        node = fig1_index.single_edge_motif("a", "b")
+        e = normalize_edge(1, 2)
+        assert Match(frozenset([e]), node) == Match(frozenset([e]), node)
+        assert len({Match(frozenset([e]), node), Match(frozenset([e]), node)}) == 1
+
+    def test_match_degree_of(self, fig1_index):
+        node = fig1_index.single_edge_motif("a", "b")
+        match = Match(frozenset([normalize_edge(1, 2), normalize_edge(2, 3)]), node)
+        assert match.degree_of(2) == 2
+        assert match.degree_of(1) == 1
+        assert match.degree_of(9) == 0
+
+    def test_matchlist_indexes(self, fig1_index):
+        ml = MatchList()
+        node = fig1_index.single_edge_motif("a", "b")
+        e = normalize_edge(1, 2)
+        match = Match(frozenset([e]), node)
+        assert ml.add(match)
+        assert not ml.add(match)  # duplicate
+        assert ml.matches_at(1) == {match}
+        assert ml.matches_containing_edge(e) == {match}
+        ml.discard(match)
+        assert ml.matches_at(1) == set()
+        assert len(ml) == 0
+
+    def test_drop_edges_returns_dropped(self, fig1_index):
+        ml = MatchList()
+        node = fig1_index.single_edge_motif("a", "b")
+        e1, e2 = normalize_edge(1, 2), normalize_edge(3, 4)
+        m1, m2 = Match(frozenset([e1]), node), Match(frozenset([e2]), node)
+        ml.add(m1)
+        ml.add(m2)
+        dropped = ml.drop_edges([e1])
+        assert dropped == {m1}
+        assert m2 in ml

@@ -1,0 +1,99 @@
+"""Tests for the support-filtered motif index (Sec. 3)."""
+
+import pytest
+
+from repro.core.motifs import MotifIndex
+from repro.core.tpstry import TPSTry
+from repro.query.pattern import path_pattern
+from repro.query.workload import Workload
+
+
+class TestFigure1Motifs:
+    def test_motif_count(self, fig1_index):
+        assert fig1_index.num_motifs == 3
+
+    def test_single_edge_motifs(self, fig1_index):
+        roots = fig1_index.single_edge_motifs()
+        pairs = {tuple(sorted(n.exemplar.labels().values())) for n in roots}
+        assert pairs == {("a", "b"), ("b", "c")}
+
+    def test_single_edge_lookup_hit(self, fig1_index):
+        assert fig1_index.single_edge_motif("a", "b") is not None
+        assert fig1_index.single_edge_motif("b", "a") is not None
+
+    def test_single_edge_lookup_miss(self, fig1_index):
+        # c-d exists in the trie (support 10%) but is not a motif at 40%.
+        assert fig1_index.single_edge_motif("c", "d") is None
+        # x-y is not even in the trie.
+        assert fig1_index.single_edge_motif("x", "y") is None
+
+    def test_max_motif_edges(self, fig1_index):
+        assert fig1_index.max_motif_edges == 2
+
+    def test_motif_children_only_motifs(self, fig1_index):
+        """Extending a-b by a b-c edge reaches the a-b-c motif."""
+        ab = fig1_index.single_edge_motif("a", "b")
+        scheme = fig1_index.scheme
+        # adding b-c to the lone a-b edge: b has degree 1 already, c is new.
+        delta = scheme.addition_factors("b", "c", 1, 0)
+        children = fig1_index.motif_children(ab, delta)
+        assert len(children) == 1
+        assert sorted(children[0].exemplar.labels().values()) == ["a", "b", "c"]
+
+    def test_motif_children_miss_for_nonmotif_extension(self, fig1_index):
+        """Extending b-c by a c-d edge leads to b-c-d (10%): not a motif."""
+        bc = fig1_index.single_edge_motif("b", "c")
+        delta = fig1_index.scheme.addition_factors("c", "d", 1, 0)
+        assert fig1_index.motif_children(bc, delta) == []
+
+    def test_is_motif(self, fig1_trie, fig1_index):
+        for node in fig1_trie.nodes():
+            assert fig1_index.is_motif(node) == (node.support + 1e-9 >= 0.4)
+
+
+class TestThresholds:
+    def test_threshold_validation(self, fig1_trie):
+        with pytest.raises(ValueError):
+            MotifIndex(fig1_trie, 0.0)
+        with pytest.raises(ValueError):
+            MotifIndex(fig1_trie, 1.01)
+
+    def test_low_threshold_admits_everything(self, fig1_trie):
+        index = MotifIndex(fig1_trie, 0.05)
+        assert index.num_motifs == fig1_trie.num_nodes
+
+    def test_threshold_exactly_at_support(self, fig1_trie):
+        """Support == T counts as a motif ('at least T', Sec. 1.3)."""
+        index = MotifIndex(fig1_trie, 0.7)
+        names = {tuple(sorted(n.exemplar.labels().values())) for n in index.motifs}
+        assert ("b", "c") in names
+        assert ("a", "b", "c") in names
+
+    def test_downward_closure(self, fig1_trie):
+        """Every ancestor of a motif is a motif (support monotonicity)."""
+        for threshold in (0.1, 0.4, 0.7):
+            index = MotifIndex(fig1_trie, threshold)
+            motif_ids = {m.node_id for m in index.motifs}
+            for m in index.motifs:
+                for parent in m.parents:
+                    if parent is not fig1_trie.root:
+                        assert parent.node_id in motif_ids
+
+
+class TestFig5Motifs:
+    def test_six_motifs(self, fig5_workload):
+        trie = TPSTry.from_workload(fig5_workload)
+        index = MotifIndex(trie, 0.4)
+        shapes = sorted(
+            tuple(sorted(m.exemplar.labels().values())) for m in index.motifs
+        )
+        assert shapes == sorted(
+            [
+                ("a", "b"),
+                ("b", "c"),
+                ("a", "b", "c"),
+                ("a", "a", "b"),
+                ("a", "b", "b"),
+                ("a", "a", "b", "b"),
+            ]
+        )

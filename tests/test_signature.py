@@ -1,0 +1,249 @@
+"""Tests for number-theoretic signatures, including the paper's worked
+examples (Sec. 2.1) and the no-false-negatives property (Sec. 2.3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.signature import (
+    DEFAULT_PRIME,
+    EMPTY_SIGNATURE,
+    FactorMultiset,
+    SignatureScheme,
+    is_prime,
+)
+from repro.graph.labelled_graph import LabelledGraph
+from repro.query.pattern import cycle_pattern, path_pattern
+
+
+class TestFactorMultiset:
+    def test_equality_ignores_order(self):
+        assert FactorMultiset([3, 1, 2]) == FactorMultiset([2, 3, 1])
+
+    def test_multiplicity_matters(self):
+        assert FactorMultiset([2, 2]) != FactorMultiset([2])
+
+    def test_distinguishes_equal_products(self):
+        """Sec. 2.3: representing signatures as factor sets distinguishes
+        {6,2}, {4,3} and {12} even though the products are equal."""
+        assert FactorMultiset([6, 2]) != FactorMultiset([12])
+        assert FactorMultiset([6, 2]) != FactorMultiset([4, 3])
+        assert FactorMultiset([6, 2]).product() == FactorMultiset([12]).product() == 12
+
+    def test_merge(self):
+        merged = FactorMultiset([2, 3]).merge(FactorMultiset([3, 5]))
+        assert merged == FactorMultiset([2, 3, 3, 5])
+
+    def test_merge_accepts_iterables(self):
+        assert FactorMultiset([2]).merge([3]) == FactorMultiset([2, 3])
+
+    def test_difference(self):
+        diff = FactorMultiset([2, 3, 3, 5]).difference(FactorMultiset([3, 5]))
+        assert diff == FactorMultiset([2, 3])
+
+    def test_difference_requires_submultiset(self):
+        with pytest.raises(ValueError):
+            FactorMultiset([2]).difference(FactorMultiset([3]))
+
+    def test_contains(self):
+        big = FactorMultiset([2, 2, 3])
+        assert big.contains(FactorMultiset([2, 3]))
+        assert not big.contains(FactorMultiset([2, 2, 2]))
+        assert big.contains(EMPTY_SIGNATURE)
+
+    def test_rejects_nonpositive_factors(self):
+        with pytest.raises(ValueError):
+            FactorMultiset([0])
+        with pytest.raises(ValueError):
+            FactorMultiset([-3])
+
+    def test_hashable_dict_key(self):
+        d = {FactorMultiset([1, 2]): "x"}
+        assert d[FactorMultiset([2, 1])] == "x"
+
+    def test_product_of_empty_is_one(self):
+        assert EMPTY_SIGNATURE.product() == 1
+
+
+class TestPaperWorkedExample:
+    """Sec. 2.1: p = 11, r(a) = 3, r(b) = 10."""
+
+    def test_edge_factor(self, paper_scheme):
+        assert paper_scheme.edge_factor("a", "b") == 7
+
+    def test_edge_factor_symmetric(self, paper_scheme):
+        assert paper_scheme.edge_factor("a", "b") == paper_scheme.edge_factor("b", "a")
+
+    def test_single_edge_signature_product(self, paper_scheme):
+        # 7 * ((3+1) mod 11) * ((10+1) mod 11 -> 11) = 7 * 4 * 11 = 308
+        assert paper_scheme.single_edge_signature("a", "b").product() == 308
+
+    def test_degree_factor_zero_replaced_by_p(self, paper_scheme):
+        # (10 + 1) mod 11 == 0 -> replaced by 11 (footnote 3)
+        assert paper_scheme.degree_factor("b", 1) == 11
+
+    def test_aba_path_signature(self, paper_scheme):
+        # 308 * 7 * 4 * 1 = 8624
+        aba = path_pattern(["a", "b", "a"])
+        assert paper_scheme.graph_signature(aba).product() == 8624
+
+    def test_q1_cycle_signature(self, paper_scheme):
+        # 7^4 * 11^2 * 20^2 = 116 208 400
+        q1 = cycle_pattern(["a", "b", "a", "b"])
+        assert paper_scheme.graph_signature(q1).product() == 116_208_400
+
+    def test_incremental_matches_direct(self, paper_scheme):
+        """Building a-b-a by adding an edge to a-b multiplies exactly the
+        factors of the paper's example: 7, 4 and 1."""
+        base = paper_scheme.single_edge_signature("a", "b")
+        delta = paper_scheme.addition_factors("a", "b", 0, 1)
+        assert sorted(delta) == [1, 4, 7]
+        combined = base.merge(delta)
+        aba = path_pattern(["a", "b", "a"])
+        assert combined == paper_scheme.graph_signature(aba)
+
+
+class TestSignatureScheme:
+    def test_rejects_composite_p(self):
+        with pytest.raises(ValueError):
+            SignatureScheme(p=10)
+
+    def test_rejects_tiny_p(self):
+        with pytest.raises(ValueError):
+            SignatureScheme(p=2)
+
+    def test_distinct_labels_get_distinct_values(self):
+        scheme = SignatureScheme(["a", "b", "c", "d"], p=251, seed=5)
+        values = list(scheme.known_labels().values())
+        assert len(values) == len(set(values))
+        assert all(1 <= v < 251 for v in values)
+
+    def test_lazy_label_assignment(self):
+        scheme = SignatureScheme([], p=251, seed=0)
+        v1 = scheme.value("new-label")
+        assert scheme.value("new-label") == v1
+
+    def test_deterministic_for_seed(self):
+        a = SignatureScheme(["x", "y"], p=251, seed=42)
+        b = SignatureScheme(["x", "y"], p=251, seed=42)
+        assert a.known_labels() == b.known_labels()
+
+    def test_with_values_validates(self):
+        with pytest.raises(ValueError):
+            SignatureScheme(p=11).with_values({"a": 0})
+
+    def test_degree_factor_one_based(self):
+        scheme = SignatureScheme(["a"], p=11)
+        with pytest.raises(ValueError):
+            scheme.degree_factor("a", 0)
+
+    def test_same_label_edge_factor_is_p(self):
+        scheme = SignatureScheme(["a"], p=11)
+        assert scheme.edge_factor("a", "a") == 11
+
+    def test_alphabet_larger_than_field(self):
+        scheme = SignatureScheme([f"l{i}" for i in range(20)], p=11, seed=0)
+        assert all(1 <= v < 11 for v in scheme.known_labels().values())
+
+
+class TestDirectedEdgeFactor:
+    """Sec. 2.1's inline directed-graph extension."""
+
+    def test_source_minus_target(self, paper_scheme):
+        # r(a)=3, r(b)=10, p=11: a->b gives (3-10) mod 11 = 4, b->a gives 7.
+        assert paper_scheme.directed_edge_factor("a", "b") == 4
+        assert paper_scheme.directed_edge_factor("b", "a") == 7
+
+    def test_orientation_distinguishes(self, paper_scheme):
+        assert paper_scheme.directed_edge_factor("a", "b") != paper_scheme.directed_edge_factor("b", "a")
+
+    def test_self_label_maps_to_p(self, paper_scheme):
+        # (r - r) mod p == 0 -> replaced by p (footnote 3).
+        assert paper_scheme.directed_edge_factor("a", "a") == 11
+
+    def test_undirected_factor_is_one_of_the_orientations(self, paper_scheme):
+        undirected = paper_scheme.edge_factor("a", "b")
+        assert undirected in {
+            paper_scheme.directed_edge_factor("a", "b"),
+            paper_scheme.directed_edge_factor("b", "a"),
+        }
+
+
+class TestGraphSignatures:
+    def test_empty_graph(self):
+        scheme = SignatureScheme(["a"], p=251)
+        assert scheme.graph_signature(LabelledGraph()) == EMPTY_SIGNATURE
+
+    def test_factor_count_is_three_per_edge(self):
+        """Handshaking lemma: 3|E| factors per signature (Sec. 2.3)."""
+        scheme = SignatureScheme(["a", "b", "c"], p=251)
+        g = path_pattern(["a", "b", "c", "a", "b"])
+        assert len(scheme.graph_signature(g)) == 3 * g.num_edges
+
+    def test_isomorphic_relabelled_graphs_match(self):
+        """No false negatives: vertex ids don't affect the signature."""
+        scheme = SignatureScheme(["a", "b", "c"], p=251)
+        g1 = LabelledGraph.from_edges([(1, "a", 2, "b"), (2, "b", 3, "c")])
+        g2 = LabelledGraph.from_edges([(30, "c", 20, "b"), (20, "b", 10, "a")])
+        assert scheme.graph_signature(g1) == scheme.graph_signature(g2)
+
+    def test_different_labels_differ(self):
+        scheme = SignatureScheme(["a", "b", "c"], p=251, seed=3)
+        g1 = path_pattern(["a", "b", "c"])
+        g2 = path_pattern(["a", "b", "a"])
+        assert scheme.graph_signature(g1) != scheme.graph_signature(g2)
+
+    def test_incremental_equals_batch(self):
+        """Adding edges one at a time reproduces the whole-graph signature."""
+        scheme = SignatureScheme(["a", "b", "c"], p=251, seed=7)
+        g = LabelledGraph.from_edges(
+            [(1, "a", 2, "b"), (2, "b", 3, "c"), (3, "c", 4, "a"), (2, "b", 4, "a")]
+        )
+        incremental = EMPTY_SIGNATURE
+        partial = LabelledGraph()
+        for u, v in g.edges():
+            du = partial.degree(u) if partial.has_vertex(u) else 0
+            dv = partial.degree(v) if partial.has_vertex(v) else 0
+            incremental = incremental.merge(
+                scheme.addition_factors(g.label(u), g.label(v), du, dv)
+            )
+            partial.add_edge(u, v, g.label(u), g.label(v))
+        assert incremental == scheme.graph_signature(g)
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 11, 251, 317])
+    def test_primes(self, n):
+        assert is_prime(n)
+
+    @pytest.mark.parametrize("n", [-1, 0, 1, 4, 9, 121, 250])
+    def test_composites(self, n):
+        assert not is_prime(n)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    perm_seed=st.integers(0, 10_000),
+    n=st.integers(2, 9),
+)
+def test_property_signature_invariant_under_relabelling(seed, perm_seed, n):
+    """Randomly built labelled graphs keep their signature under any
+    permutation of vertex identifiers — the no-false-negatives guarantee."""
+    rng = random.Random(seed)
+    labels = ["a", "b", "c", "d"]
+    g = LabelledGraph()
+    for v in range(n):
+        g.add_vertex(v, rng.choice(labels))
+    for v in range(1, n):
+        g.add_edge(rng.randrange(v), v)
+    perm = list(range(n))
+    random.Random(perm_seed).shuffle(perm)
+    h = LabelledGraph()
+    for v in range(n):
+        h.add_vertex(perm[v], g.label(v))
+    for u, v in g.edges():
+        h.add_edge(perm[u], perm[v])
+    scheme = SignatureScheme(labels, p=DEFAULT_PRIME, seed=1)
+    assert scheme.graph_signature(g) == scheme.graph_signature(h)

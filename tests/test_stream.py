@@ -1,0 +1,130 @@
+"""Unit and property tests for graph streams and their orderings."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.labelled_graph import normalize_edge
+from repro.graph.stream import (
+    EdgeEvent,
+    StreamOrder,
+    bfs_stream,
+    dfs_stream,
+    random_stream,
+    stream_edges,
+    stream_prefix,
+    stream_to_graph,
+)
+
+from conftest import make_random_labelled_graph
+
+
+class TestEdgeEvent:
+    def test_edge_is_normalized(self):
+        ev = EdgeEvent(5, "a", 2, "b")
+        assert ev.edge == normalize_edge(2, 5)
+
+    def test_label_of(self):
+        ev = EdgeEvent(1, "a", 2, "b")
+        assert ev.label_of(1) == "a"
+        assert ev.label_of(2) == "b"
+        with pytest.raises(KeyError):
+            ev.label_of(3)
+
+    def test_label_pair_sorted(self):
+        assert EdgeEvent(1, "z", 2, "a").label_pair() == ("a", "z")
+
+
+@pytest.mark.parametrize("order", ["bfs", "dfs", "random"])
+class TestOrderings:
+    def test_every_edge_exactly_once(self, order, random_graph):
+        events = list(stream_edges(random_graph, order, seed=3))
+        edges = [ev.edge for ev in events]
+        assert len(edges) == random_graph.num_edges
+        assert set(edges) == set(random_graph.edges())
+
+    def test_labels_match_graph(self, order, random_graph):
+        for ev in stream_edges(random_graph, order, seed=1):
+            assert ev.u_label == random_graph.label(ev.u)
+            assert ev.v_label == random_graph.label(ev.v)
+
+    def test_deterministic_for_seed(self, order, random_graph):
+        a = [ev.edge for ev in stream_edges(random_graph, order, seed=9)]
+        b = [ev.edge for ev in stream_edges(random_graph, order, seed=9)]
+        assert a == b
+
+    def test_covers_disconnected_components(self, order):
+        from repro.graph.labelled_graph import LabelledGraph
+
+        g = LabelledGraph.from_label_map(
+            {1: "a", 2: "b", 3: "a", 4: "b"}, [(1, 2), (3, 4)]
+        )
+        events = list(stream_edges(g, order, seed=0))
+        assert {ev.edge for ev in events} == set(g.edges())
+
+
+class TestOrderCharacter:
+    def test_bfs_has_locality(self, random_graph):
+        """In a BFS stream, consecutive edges should frequently share
+        endpoints — the locality property Sec. 5.3 relies on."""
+        events = list(bfs_stream(random_graph, seed=0))
+        shared = sum(
+            1
+            for a, b in zip(events, events[1:])
+            if {a.u, a.v} & {b.u, b.v}
+        )
+        assert shared / len(events) > 0.15
+
+    def test_random_differs_from_bfs(self, random_graph):
+        bfs = [ev.edge for ev in bfs_stream(random_graph, seed=0)]
+        rnd = [ev.edge for ev in random_stream(random_graph, seed=0)]
+        assert bfs != rnd
+
+    def test_different_seeds_shuffle_random_order(self, random_graph):
+        a = [ev.edge for ev in random_stream(random_graph, seed=1)]
+        b = [ev.edge for ev in random_stream(random_graph, seed=2)]
+        assert a != b
+        assert sorted(a) == sorted(b)
+
+    def test_dfs_differs_from_bfs_on_nontrivial_graph(self, random_graph):
+        bfs = [ev.edge for ev in bfs_stream(random_graph, seed=0)]
+        dfs = [ev.edge for ev in dfs_stream(random_graph, seed=0)]
+        assert bfs != dfs
+
+
+class TestStreamOrderEnum:
+    def test_accepts_string_aliases(self, random_graph):
+        a = [ev.edge for ev in stream_edges(random_graph, "bfs", seed=4)]
+        b = [ev.edge for ev in stream_edges(random_graph, StreamOrder.BREADTH_FIRST, seed=4)]
+        assert a == b
+
+    def test_unknown_order_raises(self, random_graph):
+        with pytest.raises(ValueError):
+            stream_edges(random_graph, "sideways")
+
+
+class TestRoundTrip:
+    def test_stream_to_graph_reconstructs(self, random_graph):
+        rebuilt = stream_to_graph(stream_edges(random_graph, "random", seed=5))
+        assert rebuilt.num_vertices == random_graph.num_vertices
+        assert set(rebuilt.edges()) == set(random_graph.edges())
+        assert rebuilt.labels() == random_graph.labels()
+
+    def test_stream_prefix(self, random_graph):
+        events = stream_prefix(stream_edges(random_graph, "bfs", seed=0), 10)
+        assert len(events) == 10
+
+    def test_stream_prefix_short_stream(self, random_graph):
+        events = stream_prefix(stream_edges(random_graph, "bfs", seed=0), 10**9)
+        assert len(events) == random_graph.num_edges
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    order=st.sampled_from(["bfs", "dfs", "random"]),
+    n=st.integers(5, 40),
+)
+def test_property_stream_is_edge_permutation(seed, order, n):
+    g = make_random_labelled_graph(num_vertices=n, num_edges=min(2 * n, n * (n - 1) // 2), seed=seed)
+    edges = [ev.edge for ev in stream_edges(g, order, seed=seed)]
+    assert sorted(edges, key=repr) == sorted(g.edges(), key=repr)

@@ -1,0 +1,145 @@
+"""Tests for the TPSTry++ (Sec. 2/2.2, Alg. 1), anchored on Fig. 2."""
+
+import pytest
+
+from repro.core.signature import SignatureScheme
+from repro.core.tpstry import TPSTry
+from repro.query.pattern import cycle_pattern, edge_pattern, path_pattern
+from repro.query.workload import Workload
+
+
+def labels_of(node):
+    return sorted(node.exemplar.labels().values())
+
+
+class TestFigure2:
+    """The complete TPSTry++ for the Fig. 1 workload (Fig. 2)."""
+
+    def test_single_edge_nodes(self, fig1_trie):
+        roots = {tuple(labels_of(n)) for n in fig1_trie.single_edge_nodes()}
+        assert roots == {("a", "b"), ("b", "c"), ("c", "d")}
+
+    def test_supports_match_figure2(self, fig1_trie):
+        by_labels = {}
+        for node in fig1_trie.nodes():
+            by_labels.setdefault(tuple(labels_of(node)), []).append(node)
+        # a-b occurs in all three queries: support 100%.
+        (ab,) = by_labels[("a", "b")]
+        assert ab.support == pytest.approx(1.0)
+        # b-c occurs in q2 (60%) and q3 (10%).
+        (bc,) = by_labels[("b", "c")]
+        assert bc.support == pytest.approx(0.7)
+        # c-d occurs only in q3.
+        (cd,) = by_labels[("c", "d")]
+        assert cd.support == pytest.approx(0.1)
+        # a-b-c occurs in q2 and q3.
+        (abc,) = by_labels[("a", "b", "c")]
+        assert abc.support == pytest.approx(0.7)
+
+    def test_motifs_at_40_percent(self, fig1_trie):
+        motifs = {tuple(labels_of(n)) for n in fig1_trie.motif_nodes(0.4)}
+        assert motifs == {("a", "b"), ("b", "c"), ("a", "b", "c")}
+
+    def test_q1_cycle_node_exists_with_q1_support(self, fig1_trie):
+        quad = [n for n in fig1_trie.nodes() if n.num_edges == 4]
+        assert len(quad) == 1
+        assert quad[0].support == pytest.approx(0.30)
+
+    def test_support_monotone_along_paths(self, fig1_trie):
+        assert fig1_trie.check_support_monotone()
+
+    def test_max_depth_is_largest_query(self, fig1_trie, fig1_workload):
+        assert fig1_trie.max_depth == fig1_workload.max_pattern_edges()
+
+
+class TestDagMerging:
+    def test_isomorphic_subgraphs_from_different_queries_merge(self):
+        """Fig. 3: tries for q1 and q2 share their common sub-graph nodes."""
+        wl = Workload(
+            [
+                (path_pattern(["a", "b", "c"], name="abc"), 0.5),
+                (path_pattern(["c", "b", "a"], name="cba"), 0.5),
+            ]
+        )
+        trie = TPSTry.from_workload(wl)
+        # a-b-c and c-b-a are isomorphic: one 2-edge node with support 1.0.
+        two_edge = [n for n in trie.nodes() if n.num_edges == 2]
+        assert len(two_edge) == 1
+        assert two_edge[0].support == pytest.approx(1.0)
+
+    def test_dag_node_with_multiple_parents(self):
+        """Fig. 2's a-b-a-b can be reached from both b-a-b and a-b-a."""
+        wl = Workload([(path_pattern(["a", "b", "a", "b"], name="abab"), 1.0)])
+        trie = TPSTry.from_workload(wl)
+        (top,) = [n for n in trie.nodes() if n.num_edges == 3]
+        assert len(top.parents) == 2
+
+    def test_subgraph_occurring_twice_in_one_query_counts_once(self):
+        """A sub-graph occurring many times within one query still counts
+        that query's frequency once (Fig. 2 semantics)."""
+        wl = Workload([(cycle_pattern(["a", "b", "a", "b"], name="q1"), 1.0)])
+        trie = TPSTry.from_workload(wl)
+        (ab,) = trie.single_edge_nodes()
+        assert ab.support == pytest.approx(1.0)
+
+
+class TestConstruction:
+    def test_rejects_zero_frequency(self):
+        trie = TPSTry(SignatureScheme(["a", "b"]))
+        with pytest.raises(ValueError):
+            trie.add_query(edge_pattern("a", "b"), 0.0)
+
+    def test_rejects_empty_pattern(self):
+        from repro.graph.labelled_graph import LabelledGraph
+
+        trie = TPSTry(SignatureScheme(["a"]))
+        g = LabelledGraph()
+        g.add_vertex(1, "a")
+        with pytest.raises(ValueError):
+            trie.add_query(g, 1.0)
+
+    def test_node_count_single_edge_query(self):
+        wl = Workload([(edge_pattern("a", "b"), 1.0)])
+        trie = TPSTry.from_workload(wl)
+        assert trie.num_nodes == 1
+
+    def test_node_lookup_by_graph(self, fig1_trie):
+        node = fig1_trie.node_for_graph(path_pattern(["a", "b", "c"]))
+        assert node is not None
+        assert node.support == pytest.approx(0.7)
+
+    def test_lookup_missing_graph(self, fig1_trie):
+        assert fig1_trie.node_for_graph(path_pattern(["d", "d"])) is None
+
+    def test_children_annotated_with_deltas(self, fig1_trie):
+        """Every trie edge's delta is the child-minus-parent multiset."""
+        for node in fig1_trie.nodes(include_root=True):
+            for delta_key, children in node.children_by_delta.items():
+                for child in children:
+                    diff = child.signature.difference(node.signature)
+                    assert diff.key == delta_key
+
+    def test_num_queries(self, fig1_trie):
+        assert fig1_trie.num_queries == 3
+
+    def test_motif_threshold_validation(self, fig1_trie):
+        with pytest.raises(ValueError):
+            fig1_trie.motif_nodes(0.0)
+        with pytest.raises(ValueError):
+            fig1_trie.motif_nodes(1.5)
+
+
+class TestEnumerationCompleteness:
+    def test_all_connected_subgraphs_present(self):
+        """Every connected edge-sub-graph of a 4-edge query appears."""
+        wl = Workload([(path_pattern(["a", "b", "c", "d", "a"], name="p"), 1.0)])
+        trie = TPSTry.from_workload(wl)
+        # A 4-edge path has 4+3+2+1 = 10 connected sub-paths, all with
+        # distinct label sequences here except none — count nodes per size.
+        by_size = {}
+        for n in trie.nodes():
+            by_size[n.num_edges] = by_size.get(n.num_edges, 0) + 1
+        assert by_size[1] == 4  # a-b, b-c, c-d, d-a
+        assert by_size[2] == 3  # a-b-c, b-c-d, c-d-a
+        assert by_size[3] == 2
+        assert by_size[4] == 1

@@ -1,0 +1,108 @@
+"""Tests for the sliding window Ptemp (Sec. 3)."""
+
+import pytest
+
+from repro.core.window import SlidingWindow
+from repro.graph.labelled_graph import normalize_edge
+from repro.graph.stream import EdgeEvent
+
+
+def ev(u, lu, v, lv):
+    return EdgeEvent(u, lu, v, lv)
+
+
+class TestBuffering:
+    def test_add_and_len(self):
+        w = SlidingWindow(3)
+        assert w.add(ev(1, "a", 2, "b"))
+        assert len(w) == 1
+        assert normalize_edge(1, 2) in w
+
+    def test_duplicate_edge_rejected(self):
+        w = SlidingWindow(3)
+        w.add(ev(1, "a", 2, "b"))
+        assert not w.add(ev(2, "b", 1, "a"))
+        assert len(w) == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0)
+
+    def test_window_graph_tracks_contents(self):
+        w = SlidingWindow(5)
+        w.add(ev(1, "a", 2, "b"))
+        w.add(ev(2, "b", 3, "c"))
+        assert w.graph.num_vertices == 3
+        assert w.graph.num_edges == 2
+        assert w.graph.label(3) == "c"
+        assert w.degree_in_window(2) == 2
+        assert w.degree_in_window(99) == 0
+
+
+class TestFifo:
+    def test_oldest_is_first_inserted(self):
+        w = SlidingWindow(5)
+        first = ev(1, "a", 2, "b")
+        w.add(first)
+        w.add(ev(2, "b", 3, "c"))
+        assert w.oldest() is first
+
+    def test_oldest_on_empty_raises(self):
+        with pytest.raises(LookupError):
+            SlidingWindow(2).oldest()
+
+    def test_overflow_flag(self):
+        w = SlidingWindow(2)
+        w.add(ev(1, "a", 2, "b"))
+        w.add(ev(2, "b", 3, "c"))
+        assert not w.is_overflowing()
+        w.add(ev(3, "c", 4, "d"))
+        assert w.is_overflowing()
+
+    def test_oldest_advances_after_removal(self):
+        w = SlidingWindow(5)
+        e1, e2 = ev(1, "a", 2, "b"), ev(2, "b", 3, "c")
+        w.add(e1)
+        w.add(e2)
+        w.remove_edges({e1.edge})
+        assert w.oldest() is e2
+
+
+class TestClusterRemoval:
+    def test_remove_multiple_edges(self):
+        w = SlidingWindow(5)
+        events = [ev(1, "a", 2, "b"), ev(2, "b", 3, "c"), ev(3, "c", 4, "d")]
+        for e in events:
+            w.add(e)
+        removed = w.remove_edges({events[0].edge, events[2].edge})
+        assert {r.edge for r in removed} == {events[0].edge, events[2].edge}
+        assert len(w) == 1
+
+    def test_isolated_vertices_dropped_from_graph(self):
+        w = SlidingWindow(5)
+        w.add(ev(1, "a", 2, "b"))
+        w.add(ev(2, "b", 3, "c"))
+        w.remove_edges({normalize_edge(1, 2)})
+        assert not w.graph.has_vertex(1)
+        assert w.graph.has_vertex(2)  # still held by the 2-3 edge
+
+    def test_remove_unknown_edges_ignored(self):
+        w = SlidingWindow(5)
+        w.add(ev(1, "a", 2, "b"))
+        assert w.remove_edges({normalize_edge(8, 9)}) == []
+        assert len(w) == 1
+
+    def test_event_lookup(self):
+        w = SlidingWindow(5)
+        e = ev(1, "a", 2, "b")
+        w.add(e)
+        assert w.event_for(e.edge) is e
+        assert w.event_for(normalize_edge(5, 6)) is None
+
+    def test_iteration(self):
+        w = SlidingWindow(5)
+        e1, e2 = ev(1, "a", 2, "b"), ev(2, "b", 3, "c")
+        w.add(e1)
+        w.add(e2)
+        assert list(w.edges()) == [e1.edge, e2.edge]
+        assert list(w.events()) == [e1, e2]

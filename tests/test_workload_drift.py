@@ -1,0 +1,84 @@
+"""Tests for trie frequency updates under workload drift (Sec. 5.1.2)."""
+
+import pytest
+
+from repro.core.motifs import MotifIndex
+from repro.core.tpstry import TPSTry
+from repro.datasets.figure1 import figure1_workload
+from repro.query.pattern import path_pattern
+from repro.query.workload import Workload
+
+
+def labels_of(node):
+    return tuple(sorted(node.exemplar.labels().values()))
+
+
+@pytest.fixture
+def trie():
+    return TPSTry.from_workload(figure1_workload())
+
+
+class TestUpdateFrequency:
+    def test_supports_shift_by_delta(self, trie):
+        # Boost q3 (a-b-c-d) from 10% to 40%: c-d gains 0.3 support.
+        before = {labels_of(n): n.support for n in trie.nodes()}
+        trie.update_frequency("q3", 0.40)
+        after = {labels_of(n): n.support for n in trie.nodes()}
+        assert after[("c", "d")] == pytest.approx(before[("c", "d")] + 0.30)
+        assert after[("a", "b")] == pytest.approx(before[("a", "b")] + 0.30)
+        # Sub-graphs q3 does not contain are untouched (the q1 cycle).
+        quad = next(k for k, _ in after.items() if len(k) == 4 and k == ("a", "a", "b", "b"))
+        assert after[quad] == pytest.approx(before[quad])
+
+    def test_matches_rebuild_from_scratch(self, trie):
+        """Incremental update == full rebuild with the drifted workload."""
+        drifted = figure1_workload().reweighted({"q3": 0.40, "q1": 0.30, "q2": 0.30})
+        trie.apply_workload_frequencies(drifted)
+        rebuilt = TPSTry.from_workload(drifted, trie.scheme)
+        ours = {n.signature.key: round(n.support, 9) for n in trie.nodes()}
+        theirs = {n.signature.key: round(n.support, 9) for n in rebuilt.nodes()}
+        assert ours == theirs
+
+    def test_motif_set_changes_after_drift(self, trie):
+        assert labels_of(trie.node_for_graph(path_pattern(["b", "c", "d"]))) == ("b", "c", "d")
+        before = {labels_of(n) for n in MotifIndex(trie, 0.4).motifs}
+        assert ("b", "c", "d") not in before
+        trie.update_frequency("q3", 0.45)
+        after = {labels_of(n) for n in MotifIndex(trie, 0.4).motifs}
+        assert ("b", "c", "d") in after  # q3's sub-path crossed the threshold
+
+    def test_monotonicity_preserved(self, trie):
+        trie.update_frequency("q2", 0.10)
+        trie.update_frequency("q1", 0.75)
+        assert trie.check_support_monotone()
+
+    def test_unknown_query_raises(self, trie):
+        with pytest.raises(KeyError, match="no query named"):
+            trie.update_frequency("q99", 0.5)
+
+    def test_invalid_frequency_raises(self, trie):
+        with pytest.raises(ValueError):
+            trie.update_frequency("q1", 0.0)
+
+    def test_query_frequencies_view(self, trie):
+        assert trie.query_frequencies() == pytest.approx(
+            {"q1": 0.30, "q2": 0.60, "q3": 0.10}
+        )
+        trie.update_frequency("q1", 0.5)
+        assert trie.query_frequencies()["q1"] == pytest.approx(0.5)
+
+    def test_update_is_idempotent_for_same_value(self, trie):
+        before = {n.signature.key: n.support for n in trie.nodes()}
+        trie.update_frequency("q2", 0.60)
+        after = {n.signature.key: n.support for n in trie.nodes()}
+        assert before == pytest.approx(after)
+
+    def test_unnamed_patterns_not_tracked(self):
+        wl = Workload([(path_pattern(["a", "b"], name=""), 1.0)])
+        # path_pattern defaults the name to "a-b"; force-empty names are
+        # not registered for updates.
+        trie = TPSTry(TPSTry.from_workload(wl).scheme)
+        pattern = path_pattern(["a", "b"])
+        pattern.name = ""
+        trie.add_query(pattern, 1.0)
+        assert trie.query_frequencies() == {}

@@ -8,7 +8,7 @@ implementation choices (bid overlap mode, the per-vertex match cap).
 
 import pytest
 
-from conftest import BENCH_SEED
+from bench_config import BENCH_SEED
 
 from repro.bench.harness import run_system, scaled_window
 from repro.graph.stream import stream_edges

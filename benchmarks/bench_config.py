@@ -1,0 +1,46 @@
+"""Benchmark-suite configuration: import shim, constants and fixtures.
+
+Benchmark modules import constants from *this* module (``from bench_config
+import BENCH_SEED``), never from ``conftest`` — importing a ``conftest.py``
+by module name is ambiguous the moment a second suite (``tests/``) has its
+own, and that ambiguity is exactly the collection failure the seed shipped
+with.  ``benchmarks/conftest.py`` only re-exports the fixture so pytest can
+discover it.
+
+The benchmarks regenerate every table and figure at a reduced default
+scale (so ``pytest benchmarks/ --benchmark-only`` completes in minutes);
+run ``python -m repro.bench all`` for the full-scale numbers recorded in
+EXPERIMENTS.md.  Quality results (relative ipt etc.) are attached to each
+benchmark's ``extra_info`` so they appear in ``--benchmark-json`` output.
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+import pytest
+
+from repro.datasets.registry import load_dataset
+
+#: Reduced sizes keeping each benchmark in the seconds range.
+BENCH_SIZES = {
+    "dblp": 1_200,
+    "provgen": 1_000,
+    "musicbrainz": 1_600,
+    "lubm-100": 1_400,
+    "lubm-4000": 4_800,
+}
+
+BENCH_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """All ipt datasets, generated once per benchmark session."""
+    return {
+        name: load_dataset(name, BENCH_SIZES[name], BENCH_SEED)
+        for name in ("dblp", "provgen", "musicbrainz", "lubm-100")
+    }

@@ -9,7 +9,7 @@ close to the best.
 
 import pytest
 
-from conftest import BENCH_SEED
+from bench_config import BENCH_SEED
 
 from repro.bench.harness import compare_systems, scaled_window
 

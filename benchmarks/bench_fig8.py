@@ -7,7 +7,7 @@ attached as extra_info; the shape check asserts the standings.
 
 import pytest
 
-from conftest import BENCH_SEED
+from bench_config import BENCH_SEED
 
 from repro.bench.harness import compare_systems, scaled_window
 

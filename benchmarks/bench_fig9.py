@@ -7,7 +7,7 @@ of larger windows is itself measured); ipt lands in extra_info.
 
 import pytest
 
-from conftest import BENCH_SEED
+from bench_config import BENCH_SEED
 
 from repro.core.loom import LoomPartitioner
 from repro.graph.stream import stream_edges

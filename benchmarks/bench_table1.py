@@ -6,7 +6,7 @@ The benchmark times the schema-driven generators; each run's realised
 
 import pytest
 
-from conftest import BENCH_SEED, BENCH_SIZES
+from bench_config import BENCH_SEED, BENCH_SIZES
 
 from repro.datasets.registry import available_datasets, dataset_spec, load_dataset
 

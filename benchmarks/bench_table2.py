@@ -8,7 +8,7 @@ above realistic transaction rates.
 
 import pytest
 
-from conftest import BENCH_SEED, BENCH_SIZES
+from bench_config import BENCH_SEED, BENCH_SIZES
 
 from repro.bench.harness import make_partitioner, scaled_window
 from repro.datasets.registry import load_dataset

@@ -1,39 +1,9 @@
-"""Benchmark-suite configuration: import shim and shared fixtures.
+"""pytest hook file for the benchmark suite — fixtures live in
+``bench_config``; this file only re-exports them for discovery.
 
-The benchmarks regenerate every table and figure at a reduced default
-scale (so ``pytest benchmarks/ --benchmark-only`` completes in minutes);
-run ``python -m repro.bench all`` for the full-scale numbers recorded in
-EXPERIMENTS.md.  Quality results (relative ipt etc.) are attached to each
-benchmark's ``extra_info`` so they appear in ``--benchmark-json`` output.
+Keep this module import-free of logic: benchmark modules must import
+constants from :mod:`bench_config`, never ``from conftest import …``
+(two suites each had a ``conftest.py`` and shadowed one another).
 """
 
-import sys
-from pathlib import Path
-
-SRC = Path(__file__).resolve().parent.parent / "src"
-if str(SRC) not in sys.path:
-    sys.path.insert(0, str(SRC))
-
-import pytest
-
-from repro.datasets.registry import load_dataset
-
-#: Reduced sizes keeping each benchmark in the seconds range.
-BENCH_SIZES = {
-    "dblp": 1_200,
-    "provgen": 1_000,
-    "musicbrainz": 1_600,
-    "lubm-100": 1_400,
-    "lubm-4000": 4_800,
-}
-
-BENCH_SEED = 0
-
-
-@pytest.fixture(scope="session")
-def datasets():
-    """All ipt datasets, generated once per benchmark session."""
-    return {
-        name: load_dataset(name, BENCH_SIZES[name], BENCH_SEED)
-        for name in ("dblp", "provgen", "musicbrainz", "lubm-100")
-    }
+from bench_config import BENCH_SEED, BENCH_SIZES, datasets  # noqa: F401

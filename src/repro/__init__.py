@@ -6,8 +6,9 @@ The package provides:
 * :mod:`repro.graph` — labelled graphs, graph streams and stream orderings,
 * :mod:`repro.core` — signatures, TPSTry++, stream motif matching, equal
   opportunism and the :class:`~repro.core.loom.LoomPartitioner`,
-* :mod:`repro.partitioning` — partition state, metrics and the Hash / LDG /
-  Fennel comparison systems,
+* :mod:`repro.partitioning` — interned, array-backed partition state,
+  metrics, the Hash / LDG / Fennel comparison systems and the pluggable
+  partitioner registry (:mod:`repro.partitioning.registry`),
 * :mod:`repro.query` — pattern graphs, workloads, sub-graph isomorphism and
   the inter-partition-traversal (ipt) executor,
 * :mod:`repro.datasets` — synthetic stand-ins for the paper's five datasets,
@@ -27,6 +28,9 @@ Quickstart::
     loom.ingest_all(stream_edges(graph, "bfs"))
     report = WorkloadExecutor(graph, workload).execute(state, "loom")
     print(report.weighted_ipt)
+
+See ``ARCHITECTURE.md`` for the layer diagram, the vertex-interning
+boundary, and how to register a custom partitioner.
 """
 
 from repro.core.allocation import EqualOpportunism

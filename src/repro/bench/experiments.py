@@ -29,7 +29,11 @@ from repro.bench.reporting import render_table
 from repro.core import collision
 from repro.datasets.registry import IPT_DATASETS, load_dataset
 from repro.graph.stream import StreamOrder, stream_edges, stream_prefix
+from repro.partitioning import registry
 from repro.query.executor import WorkloadExecutor
+
+#: Table 2's presentation order (Hash last, as the paper prints it).
+THROUGHPUT_SYSTEMS = ("ldg", "fennel", "loom", "hash")
 
 #: Default generation sizes for the ipt experiments (vertices).  Chosen so
 #: each stream has thousands of edges but a full figure regenerates in
@@ -178,8 +182,19 @@ def figure8(
     return result
 
 
-def _compare_with_executor(ds, executor: WorkloadExecutor, order: str, k: int, seed: int) -> ComparisonResult:
-    """Figs. 7/8 inner loop, reusing one embedding enumeration per dataset."""
+def _compare_with_executor(
+    ds,
+    executor: WorkloadExecutor,
+    order: str,
+    k: int,
+    seed: int,
+    systems: Sequence[str] = SYSTEMS,
+) -> ComparisonResult:
+    """Figs. 7/8 inner loop, reusing one embedding enumeration per dataset.
+
+    ``systems`` may name any strategy known to the partitioner registry —
+    the default is the paper's four.
+    """
     events = list(stream_edges(ds.graph, order, seed=seed))
     window = scaled_window(ds.graph, WINDOW_FRACTION)
     runs = {
@@ -187,7 +202,7 @@ def _compare_with_executor(ds, executor: WorkloadExecutor, order: str, k: int, s
             system, ds.graph, ds.workload, events, k,
             window_size=window, seed=seed, executor=executor,
         )
-        for system in SYSTEMS
+        for system in systems
     }
     return ComparisonResult(dataset=ds.name, order=str(StreamOrder(order).value), k=k, runs=runs)
 
@@ -201,8 +216,12 @@ def table2(
     seed: int = 0,
     scale: float = 1.0,
     num_edges: int = TABLE2_EDGES,
+    systems: Sequence[str] = THROUGHPUT_SYSTEMS,
 ) -> ExperimentResult:
     """Table 2: milliseconds to partition 10k edges, per system and dataset."""
+    for system in systems:
+        if not registry.is_registered(system):
+            raise ValueError(f"unknown system {system!r}; registered: {registry.available()}")
     sizes = _scaled(THROUGHPUT_SIZES if sizes is None else sizes, scale)
     result = ExperimentResult(
         name="table2",
@@ -218,7 +237,7 @@ def table2(
         events = stream_prefix(stream_edges(ds.graph, "bfs", seed=seed), num_edges)
         window = scaled_window(ds.graph, WINDOW_FRACTION)
         row: Dict[str, object] = {"dataset": name, "stream_edges": len(events)}
-        for system in ("ldg", "fennel", "loom", "hash"):
+        for system in systems:
             run = run_system(
                 system, ds.graph, ds.workload, events, k,
                 window_size=window, seed=seed, executor=None,

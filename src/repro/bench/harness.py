@@ -20,20 +20,17 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.core.loom import LoomPartitioner
 from repro.datasets.registry import Dataset, load_dataset
 from repro.graph.labelled_graph import LabelledGraph
 from repro.graph.stream import EdgeEvent, StreamOrder, stream_edges
+from repro.partitioning import registry
 from repro.partitioning.base import StreamingPartitioner
-from repro.partitioning.fennel import FennelPartitioner
-from repro.partitioning.hash_partitioner import HashPartitioner
-from repro.partitioning.ldg import LDGPartitioner
 from repro.partitioning.metrics import partition_quality_summary
 from repro.partitioning.state import PartitionState
 from repro.query.executor import ExecutionReport, WorkloadExecutor
 from repro.query.workload import Workload
 
-SYSTEMS = ("hash", "ldg", "fennel", "loom")
+SYSTEMS = registry.BUILTIN_SYSTEMS
 """The four systems of the paper's comparison (Sec. 5.1)."""
 
 DEFAULT_IMBALANCE = 1.1
@@ -97,18 +94,22 @@ def make_partitioner(
     seed: int = 0,
     loom_kwargs: Optional[Dict] = None,
 ) -> StreamingPartitioner:
-    """Instantiate one of the four comparison systems over ``state``."""
-    if system == "hash":
-        return HashPartitioner(state, seed=seed)
-    if system == "ldg":
-        return LDGPartitioner(state)
-    if system == "fennel":
-        return FennelPartitioner(state, graph.num_vertices, graph.num_edges)
-    if system == "loom":
-        return LoomPartitioner(
-            state, workload, window_size=window_size, seed=seed, **(loom_kwargs or {})
-        )
-    raise ValueError(f"unknown system {system!r}; expected one of {SYSTEMS}")
+    """Instantiate ``system`` over ``state`` via the partitioner registry.
+
+    Any strategy registered with
+    :func:`repro.partitioning.registry.register` is available here (and
+    therefore to every experiment and the CLI) by name; ``loom_kwargs``
+    reaches the factory as the context's ``extra`` mapping.
+    """
+    return registry.create(
+        system,
+        state,
+        graph=graph,
+        workload=workload,
+        window_size=window_size,
+        seed=seed,
+        **(loom_kwargs or {}),
+    )
 
 
 def scaled_window(graph: LabelledGraph, fraction: float = 0.12, minimum: int = 200) -> int:

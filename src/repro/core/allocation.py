@@ -67,12 +67,18 @@ class EqualOpportunism:
         rationing_enabled: bool = True,
         support_weighting: bool = True,
         neighbor_fn: Optional[Callable[[Vertex], Iterable[Vertex]]] = None,
+        neighbor_ids_fn: Optional[Callable[[int], Iterable[int]]] = None,
     ) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ValueError("alpha must lie in (0, 1]")
         if balance_cap < 1.0:
             raise ValueError("balance_cap must be at least 1")
         self.state = state
+        # Live views of the interned state, bound once: the auction scores
+        # every match of every eviction, so per-vertex method dispatch here
+        # is measurable at streaming rates.
+        self._ids = state.interner.id_map
+        self._assignment = state.assignment_vector
         self.alpha = alpha
         self.balance_cap = balance_cap
         # Ablation switches (both True reproduces the paper's heuristic).
@@ -83,7 +89,10 @@ class EqualOpportunism:
         # vertices *plus* edges from the match into Si — the "most incident
         # edges" reading of Sec. 4's naive strategy; without one it counts
         # only the match's own assigned vertices (the literal Eq. 1).
+        # ``neighbor_ids_fn`` is the interned-id twin (Loom passes its id
+        # adjacency here); ``neighbor_fn`` stays for vertex-keyed callers.
         self.neighbor_fn = neighbor_fn
+        self.neighbor_ids_fn = neighbor_ids_fn
 
     # ------------------------------------------------------------------
     # Eq. 2: the rationing function l
@@ -119,15 +128,34 @@ class EqualOpportunism:
         Counts the match's own assigned vertices and, when a neighbour
         function is available, the assigned neighbours of the match — one
         count per distinct vertex, like LDG counts a vertex's placed
-        neighbours.
+        neighbours.  The base count is one pass over the interned
+        assignment vector (``count_in_partition`` over int arrays).
         """
         counts = [0] * self.state.k
-        partition_of = self.state.partition_of
+        ids = self._ids
+        assignment = self._assignment
+        n = len(assignment)
+        match_ids = set()
         for v in match.vertices:
-            p = partition_of(v)
-            if p is not None:
-                counts[p] += 1
-        if self.neighbor_fn is not None:
+            vid = ids.get(v)
+            if vid is not None:
+                match_ids.add(vid)
+                if vid < n:
+                    p = assignment[vid]
+                    if p >= 0:
+                        counts[p] += 1
+        if self.neighbor_ids_fn is not None:
+            seen_ids: Set[int] = set()
+            for vid in match_ids:
+                for wid in self.neighbor_ids_fn(vid):
+                    if wid not in match_ids and wid not in seen_ids:
+                        seen_ids.add(wid)
+                        if wid < n:
+                            p = assignment[wid]
+                            if p >= 0:
+                                counts[p] += 1
+        elif self.neighbor_fn is not None:
+            partition_of = self.state.partition_of
             seen: Set[Vertex] = set()
             for v in match.vertices:
                 for w in self.neighbor_fn(v):

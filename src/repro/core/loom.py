@@ -31,7 +31,7 @@ from repro.core.tpstry import TPSTry
 from repro.graph.labelled_graph import Vertex
 from repro.graph.stream import EdgeEvent
 from repro.partitioning.base import StreamingPartitioner
-from repro.partitioning.ldg import ldg_choose
+from repro.partitioning.ldg import ldg_choose_ids
 from repro.partitioning.state import PartitionState
 from repro.query.workload import Workload
 
@@ -73,9 +73,9 @@ class LoomPartitioner(StreamingPartitioner):
             window_size,
             max_matches_per_vertex=max_matches_per_vertex,
         )
-        # Seen-so-far adjacency: used by the LDG placement of non-motif
-        # edges and by the auction's neighbour-aware overlap counts.
-        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        # Seen-so-far adjacency over interned ids: used by the LDG placement
+        # of non-motif edges and by the auction's neighbour-aware overlaps.
+        self._adj: Dict[int, Set[int]] = {}
         # The literal Eq. 1 (vertex overlap) measures best and is the
         # default; neighbour-aware bids are kept as an ablation (footnote 8
         # reading — see benchmarks/bench_ablation.py).
@@ -85,7 +85,9 @@ class LoomPartitioner(StreamingPartitioner):
             balance_cap=balance_cap,
             rationing_enabled=rationing_enabled,
             support_weighting=support_weighting,
-            neighbor_fn=(lambda v: self._adj.get(v, ())) if neighbor_aware_bids else None,
+            neighbor_ids_fn=(
+                (lambda vid: self._adj.get(vid, ())) if neighbor_aware_bids else None
+            ),
         )
         self.stats = {
             "immediate_assignments": 0,
@@ -98,7 +100,7 @@ class LoomPartitioner(StreamingPartitioner):
     # Streaming protocol
     # ------------------------------------------------------------------
     def ingest(self, event: EdgeEvent) -> None:
-        self._record(event.u, event.v)
+        uid, vid = self._record(event.u, event.v)
         if not self.matcher.offer(event):
             # Sec. 3: the edge can never join a motif match — place it now
             # with LDG and do not displace window edges.  Endpoints that
@@ -106,8 +108,8 @@ class LoomPartitioner(StreamingPartitioner):
             # placement belongs to the motif cluster they are part of
             # (Sec. 4's allocation); they are skipped and will be assigned
             # when their cluster leaves the window.
-            self._ldg_place(event.u)
-            self._ldg_place(event.v)
+            self._ldg_place(event.u, uid)
+            self._ldg_place(event.v, vid)
             self.stats["immediate_assignments"] += 1
             return
         while self.matcher.needs_eviction():
@@ -122,11 +124,15 @@ class LoomPartitioner(StreamingPartitioner):
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _record(self, u: Vertex, v: Vertex) -> None:
-        self._adj.setdefault(u, set()).add(v)
-        self._adj.setdefault(v, set()).add(u)
+    def _record(self, u: Vertex, v: Vertex):
+        uid = self.state.intern(u)
+        vid = self.state.intern(v)
+        adj = self._adj
+        adj.setdefault(uid, set()).add(vid)
+        adj.setdefault(vid, set()).add(uid)
+        return uid, vid
 
-    def _ldg_place(self, v: Vertex) -> None:
+    def _ldg_place(self, v: Vertex, vid: int) -> None:
         """LDG placement for a vertex outside the window's jurisdiction.
 
         Vertices currently held in ``Ptemp`` are deferred: every window
@@ -135,20 +141,21 @@ class LoomPartitioner(StreamingPartitioner):
         letting an incidental non-motif edge pin such a vertex early would
         make the motif allocation a no-op for it.
         """
-        if self.state.is_assigned(v):
+        if self.state.is_assigned_id(vid):
             return
         if self.matcher.window.graph.has_vertex(v):
             return
-        self.state.assign(v, ldg_choose(self.state, self._adj.get(v, ())))
+        self.state.assign_id(vid, ldg_choose_ids(self.state, self._adj.get(vid, ())))
 
     def _ldg_cluster_choice(self, cluster_vertices) -> int:
         """LDG over the union of the cluster's seen neighbourhoods — the
         zero-bid fallback (same heuristic as unmatched edges, Sec. 4)."""
-        neighborhood = set()
-        for v in cluster_vertices:
-            neighborhood |= self._adj.get(v, set())
-        neighborhood -= set(cluster_vertices)
-        return ldg_choose(self.state, neighborhood)
+        cluster_ids = set(self.state.intern_many(cluster_vertices))
+        neighborhood: Set[int] = set()
+        for vid in cluster_ids:
+            neighborhood |= self._adj.get(vid, set())
+        neighborhood -= cluster_ids
+        return ldg_choose_ids(self.state, neighborhood)
 
     def _evict_once(self) -> None:
         eviction = self.matcher.next_eviction()
@@ -166,8 +173,9 @@ class LoomPartitioner(StreamingPartitioner):
             # match, but if it somehow lost it, place its endpoints now —
             # forced, since the edge is leaving the window for good.
             for v in (eviction.event.u, eviction.event.v):
-                if not self.state.is_assigned(v):
-                    self.state.assign(v, ldg_choose(self.state, self._adj.get(v, ())))
+                vid = self.state.intern(v)
+                if not self.state.is_assigned_id(vid):
+                    self.state.assign_id(vid, ldg_choose_ids(self.state, self._adj.get(vid, ())))
             self.matcher.remove_cluster({eviction.event.edge})
 
     # ------------------------------------------------------------------

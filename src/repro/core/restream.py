@@ -27,7 +27,7 @@ from typing import Dict, Iterable, Optional, Sequence
 from repro.core.loom import LoomPartitioner
 from repro.graph.labelled_graph import Vertex
 from repro.graph.stream import EdgeEvent
-from repro.partitioning.ldg import ldg_choose
+from repro.partitioning.ldg import ldg_choose_ids
 from repro.partitioning.state import PartitionState
 from repro.query.workload import Workload
 
@@ -92,23 +92,24 @@ class _StickyLoom(LoomPartitioner):
 
         self.allocator._overlap_counts = sticky_counts  # type: ignore[method-assign]
 
-    def _ldg_place(self, v: Vertex) -> None:
-        if self.state.is_assigned(v):
+    def _ldg_place(self, v: Vertex, vid: int) -> None:
+        if self.state.is_assigned_id(vid):
             return
         if self.matcher.window.graph.has_vertex(v):
             return
         prev = self._previous.get(v)
         if prev is not None and not self.state.is_full(prev):
-            neighbors = self._adj.get(v, set())
-            choice = ldg_choose(self.state, neighbors)
-            placed = self.state.count_in_partition(neighbors, choice)
-            anchored = self.state.count_in_partition(neighbors, prev) + self._stickiness
+            neighbor_ids = self._adj.get(vid, set())
+            choice = ldg_choose_ids(self.state, neighbor_ids)
+            counts = self.state.neighbor_partition_counts(neighbor_ids)
+            placed = counts[choice]
+            anchored = counts[prev] + self._stickiness
             if anchored * self.state.residual_capacity(prev) >= placed * self.state.residual_capacity(choice):
-                self.state.assign(v, prev)
+                self.state.assign_id(vid, prev)
                 return
-            self.state.assign(v, choice)
+            self.state.assign_id(vid, choice)
             return
-        super()._ldg_place(v)
+        super()._ldg_place(v, vid)
 
 
 def restream(

@@ -1,12 +1,15 @@
-"""Labelled graph substrate: graph structure, streams and IO.
+"""Labelled graph substrate: graph structure, streams, interning and IO.
 
 This subpackage provides the data model everything else in :mod:`repro` is
 built on: an undirected, vertex-labelled graph (:class:`LabelledGraph`), a
 stream representation of an *online* graph (:class:`EdgeEvent`,
-:func:`stream_edges`) and the three stream orderings used in the paper's
-evaluation (breadth-first, depth-first and random).
+:func:`stream_edges`), the three stream orderings used in the paper's
+evaluation (breadth-first, depth-first and random), and the
+:class:`VertexInterner` that maps arbitrary vertex objects to the dense
+integer ids the partitioning layer runs on.
 """
 
+from repro.graph.interning import VertexInterner
 from repro.graph.labelled_graph import Edge, LabelledGraph, normalize_edge
 from repro.graph.stream import (
     EdgeEvent,
@@ -16,6 +19,7 @@ from repro.graph.stream import (
     random_stream,
     stream_edges,
     stream_to_graph,
+    synthetic_stream,
 )
 
 __all__ = [
@@ -23,10 +27,12 @@ __all__ = [
     "EdgeEvent",
     "LabelledGraph",
     "StreamOrder",
+    "VertexInterner",
     "bfs_stream",
     "dfs_stream",
     "normalize_edge",
     "random_stream",
     "stream_edges",
     "stream_to_graph",
+    "synthetic_stream",
 ]

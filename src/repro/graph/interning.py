@@ -1,0 +1,117 @@
+"""Vertex interning: stable, dense integer IDs for arbitrary vertices.
+
+Every layer of the stack ultimately keys its per-vertex bookkeeping on
+:data:`~repro.graph.labelled_graph.Vertex` — an arbitrary hashable.  That is
+convenient at the boundary (datasets use ints, strings and tuples freely)
+but expensive in the hot loops: every adjacency update, partition lookup and
+bid computation pays for hashing and boxing whole vertex objects.
+
+:class:`VertexInterner` is the single translation point.  It assigns each
+distinct vertex a dense id (``0, 1, 2, …`` in first-seen order) and keeps
+the reverse mapping, so the streaming partitioners can run entirely on flat
+``array``/list-of-int structures and translate back to vertex objects only
+at the public API boundary.
+
+Ids are *stable*: once assigned they never change, which is what makes them
+safe to bake into assignment vectors, adjacency sets and (later) on-disk or
+cross-shard state.  The first-seen order is deterministic for a fixed event
+stream, so interned runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.graph.labelled_graph import Vertex
+
+
+class VertexInterner:
+    """A bijection between vertices and dense integer ids.
+
+    ``intern`` is the only mutating operation; it is idempotent and O(1).
+    The reverse lookup :meth:`vertex` is a list index.
+    """
+
+    __slots__ = ("_ids", "_vertices")
+
+    def __init__(self) -> None:
+        self._ids: Dict[Vertex, int] = {}
+        self._vertices: List[Vertex] = []
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+    def intern(self, v: Vertex) -> int:
+        """The id of ``v``, assigning the next dense id on first sight."""
+        vid = self._ids.get(v)
+        if vid is None:
+            vid = len(self._vertices)
+            self._ids[v] = vid
+            self._vertices.append(v)
+        return vid
+
+    def intern_many(self, vertices: Iterable[Vertex]) -> List[int]:
+        """Bulk :meth:`intern`; returns ids in input order."""
+        intern = self.intern
+        return [intern(v) for v in vertices]
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    @property
+    def id_map(self) -> Dict[Vertex, int]:
+        """The *live* vertex → id dict, for hot loops that bind it once.
+
+        Treat as read-only: all insertion goes through :meth:`intern`.
+        """
+        return self._ids
+
+    def id_of(self, v: Vertex) -> Optional[int]:
+        """The id of ``v`` if it has been interned, else ``None`` (no insert)."""
+        return self._ids.get(v)
+
+    def vertex(self, vid: int) -> Vertex:
+        """The vertex behind ``vid``; raises ``IndexError`` for unknown ids."""
+        if vid < 0:
+            raise IndexError(f"vertex id {vid} out of range")
+        return self._vertices[vid]
+
+    def vertices(self) -> Iterator[Vertex]:
+        """All interned vertices, in id order."""
+        return iter(self._vertices)
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._ids
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VertexInterner n={len(self._vertices)}>"
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_list(self) -> List[Vertex]:
+        """The id → vertex table as a plain list (id ``i`` at index ``i``).
+
+        This is the whole state of the interner: persist it with any codec
+        that can handle the vertex objects themselves (JSON for int/str
+        vertices), and rebuild with :meth:`from_list`.
+        """
+        return list(self._vertices)
+
+    @classmethod
+    def from_list(cls, vertices: Sequence[Vertex]) -> "VertexInterner":
+        """Rebuild an interner from a :meth:`to_list` table.
+
+        Raises ``ValueError`` on duplicate vertices — a corrupt table would
+        otherwise silently alias two ids.
+        """
+        interner = cls()
+        for v in vertices:
+            interner._ids[v] = len(interner._vertices)
+            interner._vertices.append(v)
+        if len(interner._ids) != len(interner._vertices):
+            raise ValueError("duplicate vertices in interner table")
+        return interner

@@ -17,9 +17,10 @@ import argparse
 import sys
 from typing import Optional
 
-from repro.bench.harness import SYSTEMS, make_partitioner, scaled_window
+from repro.bench.harness import scaled_window
 from repro.graph.io import read_graph
 from repro.graph.stream import stream_edges
+from repro.partitioning import registry
 from repro.partitioning.metrics import partition_quality_summary
 from repro.partitioning.state import PartitionState
 from repro.query.executor import WorkloadExecutor
@@ -33,7 +34,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("graph", help="graph file in the v/e line format")
     parser.add_argument("--workload", help="workload file in the q/p line format")
-    parser.add_argument("--system", choices=SYSTEMS, default="loom")
+    # Choices come from the registry: a strategy registered by a plugin or
+    # an importing script is immediately selectable here.
+    parser.add_argument("--system", choices=registry.available(), default="loom")
     parser.add_argument("--k", type=int, default=8, help="number of partitions")
     parser.add_argument("--order", choices=["bfs", "dfs", "random"], default="bfs")
     parser.add_argument("--window", type=int, default=None, help="Loom window size (default: 12%% of edges)")
@@ -59,9 +62,15 @@ def main(argv: Optional[list] = None) -> int:
 
     state = PartitionState.for_graph(args.k, graph.num_vertices, args.imbalance)
     window = args.window if args.window is not None else scaled_window(graph)
-    loom_kwargs = {"support_threshold": args.threshold} if args.system == "loom" else None
-    partitioner = make_partitioner(
-        args.system, state, graph, workload, window, args.seed, loom_kwargs
+    loom_kwargs = {"support_threshold": args.threshold} if args.system == "loom" else {}
+    partitioner = registry.create(
+        args.system,
+        state,
+        graph=graph,
+        workload=workload,
+        window_size=window,
+        seed=args.seed,
+        **loom_kwargs,
     )
     partitioner.ingest_all(stream_edges(graph, args.order, seed=args.seed))
 

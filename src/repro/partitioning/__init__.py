@@ -4,20 +4,27 @@ Loom (in :mod:`repro.core.loom`) and the three comparison systems of the
 paper's evaluation live on the same abstractions defined here:
 
 * :class:`PartitionState` — a vertex-centric k-way partitioning under a
-  capacity constraint (Sec. 1.3),
+  capacity constraint (Sec. 1.3), backed by an interned assignment vector,
+  per-partition counts and membership bitsets,
 * :class:`StreamingPartitioner` — the one-pass ingest protocol,
 * :class:`HashPartitioner` — the naive baseline used by production graph
   databases,
 * :class:`LDGPartitioner` — Linear Deterministic Greedy (Stanton & Kliot),
 * :class:`FennelPartitioner` — Fennel (Tsourakakis et al., γ = 1.5),
+* :mod:`repro.partitioning.registry` — the name → factory registry every
+  call site (CLI, harness, experiments) instantiates systems through,
 * :mod:`repro.partitioning.metrics` — edge-cut, balance and communication
   volume.
+
+The pre-interning dict-based implementations are frozen in
+:mod:`repro.partitioning.legacy` (parity tests and the before/after
+throughput benchmark only — not exported here on purpose).
 """
 
 from repro.partitioning.base import PartitionerStats, StreamingPartitioner, run_partitioner
 from repro.partitioning.state import PartitionState
 from repro.partitioning.hash_partitioner import HashPartitioner
-from repro.partitioning.ldg import LDGPartitioner, ldg_choose
+from repro.partitioning.ldg import LDGPartitioner, ldg_choose, ldg_choose_ids
 from repro.partitioning.fennel import FennelPartitioner
 from repro.partitioning.metrics import (
     communication_volume,
@@ -39,6 +46,7 @@ __all__ = [
     "edge_cut",
     "imbalance",
     "ldg_choose",
+    "ldg_choose_ids",
     "partition_quality_summary",
     "run_partitioner",
 ]

@@ -11,15 +11,16 @@ evaluation, Sec. 5.1) we use γ = 1.5, α = √k · m / n^1.5, and a hard load
 cap of ν·n/k with ν = 1.1.
 
 Like the LDG implementation this is the edge-stream variant: endpoints are
-placed on first sight using neighbours seen so far.
+placed on first sight using neighbours seen so far.  The adjacency is kept
+as interned-id sets and every placement computes all k neighbourhood
+overlaps in one pass over the assignment vector.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Set
+from typing import Optional
 
-from repro.graph.labelled_graph import Vertex
 from repro.graph.stream import EdgeEvent
 from repro.partitioning.base import StreamingPartitioner
 from repro.partitioning.state import PartitionState
@@ -68,31 +69,59 @@ class FennelPartitioner(StreamingPartitioner):
             if alpha is not None
             else fennel_alpha(state.k, expected_vertices, expected_edges, gamma)
         )
-        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        self._ids = state.interner.id_map
+        self._assignment = state.assignment_vector
+        # δc(s) memo, filled on demand: partition sizes only take values in
+        # [0, C], and (s+1)^γ − s^γ is by far the dearest term of the score.
+        self._marginal_costs: list = []
 
     def _marginal_cost(self, size: int) -> float:
-        return self.alpha * ((size + 1) ** self.gamma - size**self.gamma)
+        cache = self._marginal_costs
+        if size < len(cache):
+            return cache[size]
+        alpha, gamma = self.alpha, self.gamma
+        while len(cache) <= size:
+            s = len(cache)
+            cache.append(alpha * ((s + 1) ** gamma - s**gamma))
+        return cache[size]
 
-    def _record(self, u: Vertex, v: Vertex) -> None:
-        self._adj.setdefault(u, set()).add(v)
-        self._adj.setdefault(v, set()).add(u)
-
-    def _place(self, v: Vertex) -> None:
-        if self.state.is_assigned(v):
-            return
-        neighbors = self._adj.get(v, set())
-        candidates = self.state.open_partitions() or list(range(self.state.k))
+    def _place_id(self, vid: int, neighbor_id: int) -> None:
+        # At placement time the vertex's only seen neighbour is the other
+        # endpoint of its first edge (assignments are permanent and happen
+        # on first sight) — see the LDGPartitioner docstring; the parity
+        # suite pins this equivalence against the seed's adjacency version.
+        state = self.state
+        sizes = state._sizes
+        capacity = state.capacity
+        assignment = self._assignment
+        neighbor_partition = assignment[neighbor_id]
+        candidates = [i for i in range(state.k) if sizes[i] < capacity] or list(range(state.k))
+        marginal_cost = self._marginal_cost
         best = candidates[0]
         best_score = -math.inf
         best_size = None
         for i in candidates:
-            size = self.state.size(i)
-            score = self.state.count_in_partition(neighbors, i) - self._marginal_cost(size)
+            size = sizes[i]
+            count = 1 if i == neighbor_partition else 0
+            score = count - marginal_cost(size)
             if score > best_score or (score == best_score and size < best_size):
                 best, best_score, best_size = i, score, size
-        self.state.assign(v, best)
+        state.assign_id(vid, best)
 
     def ingest(self, event: EdgeEvent) -> None:
-        self._record(event.u, event.v)
-        self._place(event.u)
-        self._place(event.v)
+        state = self.state
+        ids = self._ids
+        assignment = self._assignment
+        u, v = event.u, event.v
+        # The `>=` arm covers a *shared* interner that already knows the
+        # vertex while this state's vector hasn't grown to its id yet.
+        uid = ids.get(u)
+        if uid is None or uid >= len(assignment):
+            uid = state.intern(u)
+        vid = ids.get(v)
+        if vid is None or vid >= len(assignment):
+            vid = state.intern(v)
+        if assignment[uid] < 0:
+            self._place_id(uid, vid)
+        if assignment[vid] < 0:
+            self._place_id(vid, uid)

@@ -5,6 +5,9 @@ default placement strategy of many production graph databases (the paper
 cites Titan) and the 100% baseline of Figs. 7 and 8.  It is workload- and
 structure-agnostic, perfectly balanced in expectation, and pays for it with
 the worst ipt of all four systems.
+
+The hash is computed over the *vertex object* (never the interned id), so
+placements are stable across runs, processes and interning orders.
 """
 
 from __future__ import annotations
@@ -30,11 +33,20 @@ class HashPartitioner(StreamingPartitioner):
     def __init__(self, state: PartitionState, seed: int = 0) -> None:
         super().__init__(state)
         self.seed = seed
-
-    def _place(self, v: Vertex) -> None:
-        if not self.state.is_assigned(v):
-            self.state.assign(v, stable_hash(v, self.seed) % self.state.k)
+        self._ids = state.interner.id_map
+        self._assignment = state.assignment_vector
 
     def ingest(self, event: EdgeEvent) -> None:
-        self._place(event.u)
-        self._place(event.v)
+        state = self.state
+        ids = self._ids
+        assignment = self._assignment
+        seed = self.seed
+        k = state.k
+        for v in (event.u, event.v):
+            vid = ids.get(v)
+            if vid is None or vid >= len(assignment):
+                # Unseen vertex — or one a *shared* interner knows but this
+                # state's vector hasn't grown to yet.
+                vid = state.intern(v)
+            if assignment[vid] < 0:
+                state.assign_id(vid, stable_hash(v, seed) % k)

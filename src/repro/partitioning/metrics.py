@@ -21,9 +21,12 @@ from repro.partitioning.state import PartitionState
 
 def edge_cut(graph: LabelledGraph, state: PartitionState) -> int:
     """Number of edges crossing partition boundaries."""
+    # One snapshot of the assignment vector, then plain dict lookups — the
+    # per-edge partition_of round-trips dominated this metric before.
+    assignment = state.assignment()
     cut = 0
     for u, v in graph.edges():
-        pu, pv = state.partition_of(u), state.partition_of(v)
+        pu, pv = assignment.get(u), assignment.get(v)
         if pu is None or pv is None:
             raise ValueError(f"edge ({u!r}, {v!r}) has an unassigned endpoint")
         if pu != pv:
@@ -48,12 +51,13 @@ def imbalance(state: PartitionState, num_vertices: int) -> float:
 
 def communication_volume(graph: LabelledGraph, state: PartitionState) -> int:
     """Σ_v |{partitions ≠ partition(v) holding a neighbour of v}|."""
+    assignment = state.assignment()
     total = 0
     for v in graph.vertices():
-        home = state.partition_of(v)
+        home = assignment.get(v)
         remotes = set()
         for w in graph.neighbors(v):
-            pw = state.partition_of(w)
+            pw = assignment.get(w)
             if pw is not None and pw != home:
                 remotes.add(pw)
         total += len(remotes)

@@ -1,4 +1,4 @@
-"""Vertex-centric partition state (paper Sec. 1.3).
+"""Vertex-centric partition state (paper Sec. 1.3), array-backed.
 
 A k-way partitioning is a disjoint family of vertex sets.  In the strict
 streaming model an assignment is permanent — there is no refinement step —
@@ -7,6 +7,26 @@ so :class:`PartitionState` exposes ``assign`` but no "move" operation.
 The capacity constraint ``C`` is the per-partition vertex budget used by
 LDG's residual-capacity weight and by Loom's bids (``1 − |V(Si)|/C``); it is
 conventionally ``imbalance · n / k`` for an expected vertex count ``n``.
+
+Internally the state runs on dense integer ids from a
+:class:`~repro.graph.interning.VertexInterner`:
+
+* an **assignment vector** (``array('i')``, ``-1`` = unassigned) indexed by
+  vertex id,
+* **per-partition counts** (a plain list of ints),
+* **membership bitsets** (one ``bytearray`` per partition) for O(1)
+  membership tests without touching the assignment vector.
+
+The historical ``Vertex``-keyed API (``assign``, ``partition_of``,
+``count_in_partition``, …) is preserved as a thin translation layer; the
+hot paths of the streaming partitioners use the ``*_id`` twins and
+:meth:`neighbor_partition_counts` to stay on flat int structures.  Inside
+this package the partitioners additionally bind the live
+:attr:`assignment_vector` / ``_sizes`` references once and read them
+directly in their inner loops — per-edge method dispatch is the dominant
+cost at streaming rates.  Outside code must stick to the public methods.
+The dict-based implementation this replaced is frozen in
+:mod:`repro.partitioning.legacy` as the parity/benchmark reference.
 """
 
 from __future__ import annotations
@@ -14,21 +34,39 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
+from repro.graph.interning import VertexInterner
 from repro.graph.labelled_graph import Vertex
+
+UNASSIGNED = -1
+"""Sentinel in the assignment vector for not-yet-placed ids."""
 
 
 class PartitionState:
     """Mutable state of a k-way vertex partitioning under construction."""
 
-    def __init__(self, k: int, capacity: float) -> None:
+    __slots__ = ("k", "capacity", "interner", "_assignment", "_sizes", "_member_bits")
+
+    def __init__(
+        self,
+        k: int,
+        capacity: float,
+        interner: Optional[VertexInterner] = None,
+    ) -> None:
         if k < 1:
             raise ValueError("k must be at least 1")
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.k = k
         self.capacity = float(capacity)
-        self._assignment: Dict[Vertex, int] = {}
-        self._members: List[Set[Vertex]] = [set() for _ in range(k)]
+        #: The vertex ↔ id bijection.  Pass a shared interner when several
+        #: states (e.g. the systems of one comparison) should agree on ids.
+        self.interner = interner if interner is not None else VertexInterner()
+        # A plain list (not array('i')): indexed reads in interpreted inner
+        # loops are what the hot paths do most, and list indexing returns
+        # cached small ints without unboxing.
+        self._assignment: List[int] = []
+        self._sizes: List[int] = [0] * k
+        self._member_bits: List[bytearray] = [bytearray() for _ in range(k)]
 
     @classmethod
     def for_graph(
@@ -43,6 +81,35 @@ class PartitionState:
         return cls(k, math.ceil(imbalance * expected_vertices / k))
 
     # ------------------------------------------------------------------
+    # Interning boundary
+    # ------------------------------------------------------------------
+    @property
+    def assignment_vector(self) -> List[int]:
+        """The *live* id → partition list (``-1`` = unassigned).
+
+        Exposed so in-package hot loops can bind it once and index it
+        directly; it grows in place (identity is stable).  Treat it as
+        read-only — all mutation goes through :meth:`assign_id`.
+        """
+        return self._assignment
+
+    def intern(self, v: Vertex) -> int:
+        """The dense id of ``v``, growing the assignment vector as needed.
+
+        Hot-path callers intern each endpoint once per event and work with
+        ids from then on.
+        """
+        vid = self.interner.intern(v)
+        assignment = self._assignment
+        if vid >= len(assignment):
+            assignment.extend([UNASSIGNED] * (vid + 1 - len(assignment)))
+        return vid
+
+    def intern_many(self, vertices: Iterable[Vertex]) -> List[int]:
+        """Bulk :meth:`intern`, preserving input order."""
+        return [self.intern(v) for v in vertices]
+
+    # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def assign(self, v: Vertex, partition: int) -> None:
@@ -52,72 +119,154 @@ class PartitionState:
         match clusters overlap, so Loom naturally re-assigns); moving an
         already-placed vertex raises — streaming partitioners never refine.
         """
+        self.assign_id(self.intern(v), partition)
+
+    def assign_id(self, vid: int, partition: int) -> None:
+        """Id-keyed :meth:`assign`; ``vid`` must come from :meth:`intern`."""
         if not 0 <= partition < self.k:
             raise IndexError(f"partition {partition} out of range [0, {self.k})")
-        current = self._assignment.get(v)
-        if current is not None:
+        assignment = self._assignment
+        current = assignment[vid]
+        if current != UNASSIGNED:
             if current != partition:
                 raise ValueError(
-                    f"vertex {v!r} already in partition {current}; streaming assignments are permanent"
+                    f"vertex {self.interner.vertex(vid)!r} already in partition "
+                    f"{current}; streaming assignments are permanent"
                 )
             return
-        self._assignment[v] = partition
-        self._members[partition].add(v)
+        assignment[vid] = partition
+        self._sizes[partition] += 1
+        bits = self._member_bits[partition]
+        byte = vid >> 3
+        if byte >= len(bits):
+            bits.extend(b"\x00" * (byte + 1 - len(bits)))
+        bits[byte] |= 1 << (vid & 7)
 
     # ------------------------------------------------------------------
-    # Queries
+    # Id-keyed queries (hot paths)
+    # ------------------------------------------------------------------
+    def partition_of_id(self, vid: int) -> int:
+        """The partition of id ``vid``, or :data:`UNASSIGNED` (-1)."""
+        assignment = self._assignment
+        if 0 <= vid < len(assignment):
+            return assignment[vid]
+        return UNASSIGNED
+
+    def is_assigned_id(self, vid: int) -> bool:
+        return self.partition_of_id(vid) != UNASSIGNED
+
+    def in_partition_id(self, vid: int, partition: int) -> bool:
+        """Bitset membership test: is id ``vid`` in ``partition``?"""
+        bits = self._member_bits[partition]
+        byte = vid >> 3
+        return byte < len(bits) and bool(bits[byte] & (1 << (vid & 7)))
+
+    def neighbor_partition_counts(self, ids: Iterable[int]) -> List[int]:
+        """``N(Si, ·)`` for every partition in one pass over ``ids``.
+
+        This is the inner loop of LDG, Fennel and the equal-opportunism
+        bids: the dict-based implementation recomputed the overlap per
+        partition (k passes over the neighbourhood); here one scan of the
+        assignment vector fills all k counters.
+        """
+        counts = [0] * self.k
+        assignment = self._assignment
+        n = len(assignment)
+        for vid in ids:
+            if vid < n:
+                p = assignment[vid]
+                if p >= 0:
+                    counts[p] += 1
+        return counts
+
+    def count_ids_in_partition(self, ids: Iterable[int], partition: int) -> int:
+        """Id-keyed :meth:`count_in_partition`."""
+        bits = self._member_bits[partition]
+        n = len(bits)
+        total = 0
+        for vid in ids:
+            byte = vid >> 3
+            if byte < n and bits[byte] & (1 << (vid & 7)):
+                total += 1
+        return total
+
+    # ------------------------------------------------------------------
+    # Vertex-keyed queries (public boundary)
     # ------------------------------------------------------------------
     def partition_of(self, v: Vertex) -> Optional[int]:
-        return self._assignment.get(v)
+        vid = self.interner.id_of(v)
+        if vid is None:
+            return None
+        p = self.partition_of_id(vid)
+        return None if p == UNASSIGNED else p
 
     def is_assigned(self, v: Vertex) -> bool:
-        return v in self._assignment
+        return self.partition_of(v) is not None
 
     def size(self, partition: int) -> int:
-        return len(self._members[partition])
+        return self._sizes[partition]
 
     def sizes(self) -> List[int]:
-        return [len(m) for m in self._members]
+        return list(self._sizes)
 
     def members(self, partition: int) -> Set[Vertex]:
         """A *copy* of a partition's vertex set."""
-        return set(self._members[partition])
+        if not 0 <= partition < self.k:
+            raise IndexError(f"partition {partition} out of range [0, {self.k})")
+        vertex = self.interner.vertex
+        assignment = self._assignment
+        return {vertex(vid) for vid in range(len(assignment)) if assignment[vid] == partition}
 
     def residual_capacity(self, partition: int) -> float:
         """LDG's ``r(Si) = 1 − |V(Si)|/C`` (clamped at 0)."""
-        return max(0.0, 1.0 - len(self._members[partition]) / self.capacity)
+        return max(0.0, 1.0 - self._sizes[partition] / self.capacity)
 
     def is_full(self, partition: int) -> bool:
-        return len(self._members[partition]) >= self.capacity
+        return self._sizes[partition] >= self.capacity
 
     def open_partitions(self) -> List[int]:
         """Partitions with remaining capacity (never empty in practice:
         total capacity ``k·C`` exceeds the vertex count by the slack)."""
-        return [i for i in range(self.k) if len(self._members[i]) < self.capacity]
+        capacity = self.capacity
+        return [i for i in range(self.k) if self._sizes[i] < capacity]
 
     def min_size(self) -> int:
-        return min(len(m) for m in self._members)
+        return min(self._sizes)
 
     def smallest_partition(self) -> int:
         """Index of the least-loaded partition (lowest index wins ties)."""
-        sizes = self.sizes()
+        sizes = self._sizes
         return sizes.index(min(sizes))
 
     def count_in_partition(self, vertices: Iterable[Vertex], partition: int) -> int:
         """``N(Si, ·)``: how many of ``vertices`` are already in ``partition``."""
-        members = self._members[partition]
-        return sum(1 for v in vertices if v in members)
+        id_of = self.interner.id_of
+        bits = self._member_bits[partition]
+        n = len(bits)
+        total = 0
+        for v in vertices:
+            vid = id_of(v)
+            if vid is not None:
+                byte = vid >> 3
+                if byte < n and bits[byte] & (1 << (vid & 7)):
+                    total += 1
+        return total
 
     def assignment(self) -> Dict[Vertex, int]:
         """A *copy* of the full vertex → partition map."""
-        return dict(self._assignment)
+        vertex = self.interner.vertex
+        return {
+            vertex(vid): p
+            for vid, p in enumerate(self._assignment)
+            if p != UNASSIGNED
+        }
 
     @property
     def num_assigned(self) -> int:
-        return len(self._assignment)
+        return sum(self._sizes)
 
     def __contains__(self, v: Vertex) -> bool:
-        return v in self._assignment
+        return self.is_assigned(v)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<PartitionState k={self.k} C={self.capacity:g} sizes={self.sizes()}>"

@@ -2,7 +2,8 @@
 
 Also ensures ``src/`` is importable even without an installed package (the
 offline environment installs via ``python setup.py develop``; this shim
-keeps ``pytest`` working from a bare checkout too).
+keeps ``pytest`` working from a bare checkout too).  Plain helper functions
+live in :mod:`helpers` — import them from there, never from ``conftest``.
 """
 
 import sys
@@ -11,8 +12,6 @@ from pathlib import Path
 SRC = Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
-
-import random
 
 import pytest
 
@@ -23,6 +22,8 @@ from repro.datasets.figure1 import figure1_graph, figure1_workload
 from repro.graph.labelled_graph import LabelledGraph
 from repro.query.pattern import path_pattern
 from repro.query.workload import Workload
+
+from helpers import make_random_labelled_graph
 
 
 @pytest.fixture
@@ -62,29 +63,6 @@ def fig5_workload() -> Workload:
         ],
         name="fig5",
     )
-
-
-def make_random_labelled_graph(
-    num_vertices: int = 60,
-    num_edges: int = 120,
-    labels=("a", "b", "c"),
-    seed: int = 0,
-) -> LabelledGraph:
-    """A connected-ish random labelled graph for integration tests."""
-    rng = random.Random(seed)
-    g = LabelledGraph(f"random-{seed}")
-    for v in range(num_vertices):
-        g.add_vertex(v, rng.choice(labels))
-    # Spanning chain first so streams visit everything.
-    for v in range(1, num_vertices):
-        g.add_edge(v - 1, v)
-    added = num_vertices - 1
-    while added < num_edges:
-        u, v = rng.randrange(num_vertices), rng.randrange(num_vertices)
-        if u != v and not g.has_edge(u, v):
-            g.add_edge(u, v)
-            added += 1
-    return g
 
 
 @pytest.fixture

@@ -1,0 +1,34 @@
+"""Plain importable test helpers.
+
+Test modules import from here (``from helpers import …``) instead of from
+``conftest`` — a ``conftest.py`` is pytest plumbing, and importing it by
+module name breaks as soon as another ``conftest.py`` (the benchmark
+suite's, historically) wins the ``sys.modules['conftest']`` slot.
+"""
+
+import random
+
+from repro.graph.labelled_graph import LabelledGraph
+
+
+def make_random_labelled_graph(
+    num_vertices: int = 60,
+    num_edges: int = 120,
+    labels=("a", "b", "c"),
+    seed: int = 0,
+) -> LabelledGraph:
+    """A connected-ish random labelled graph for integration tests."""
+    rng = random.Random(seed)
+    g = LabelledGraph(f"random-{seed}")
+    for v in range(num_vertices):
+        g.add_vertex(v, rng.choice(labels))
+    # Spanning chain first so streams visit everything.
+    for v in range(1, num_vertices):
+        g.add_edge(v - 1, v)
+    added = num_vertices - 1
+    while added < num_edges:
+        u, v = rng.randrange(num_vertices), rng.randrange(num_vertices)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+            added += 1
+    return g

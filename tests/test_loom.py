@@ -6,7 +6,7 @@ from repro.core.loom import LoomPartitioner
 from repro.graph.stream import EdgeEvent, stream_edges
 from repro.partitioning.state import PartitionState
 
-from conftest import make_random_labelled_graph
+from helpers import make_random_labelled_graph
 
 
 def make_loom(workload, k=2, n=100, **kwargs) -> LoomPartitioner:

@@ -1,0 +1,115 @@
+"""Refactor parity: array-backed stack vs the frozen dict-based seed.
+
+The interned-id refactor must be *behaviour preserving*: for a fixed seed
+and stream, every system places every vertex in exactly the partition the
+pre-refactor implementation chose.  These tests drive the frozen legacy
+implementations (:mod:`repro.partitioning.legacy`) and the live stack over
+identical event lists and compare full assignment maps.
+"""
+
+import pytest
+
+from repro.core.loom import LoomPartitioner
+from repro.graph.stream import stream_edges, synthetic_stream
+from repro.partitioning.fennel import FennelPartitioner
+from repro.partitioning.hash_partitioner import HashPartitioner
+from repro.partitioning.ldg import LDGPartitioner
+from repro.partitioning.legacy import (
+    DictPartitionState,
+    LegacyFennelPartitioner,
+    LegacyHashPartitioner,
+    LegacyLDGPartitioner,
+    LegacyLoomPartitioner,
+)
+from repro.partitioning.state import PartitionState
+from repro.query.pattern import path_pattern
+from repro.query.workload import Workload
+
+from helpers import make_random_labelled_graph
+
+K = 4
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return make_random_labelled_graph(num_vertices=300, num_edges=700, seed=11)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload(
+        [
+            (path_pattern(["a", "b", "a", "b"], name="abab"), 0.5),
+            (path_pattern(["a", "b", "c"], name="abc"), 0.5),
+        ],
+        name="parity",
+    )
+
+
+def _states(graph):
+    new = PartitionState.for_graph(K, graph.num_vertices)
+    old = DictPartitionState.for_graph(K, graph.num_vertices)
+    assert new.capacity == old.capacity
+    return new, old
+
+
+@pytest.mark.parametrize("order", ["bfs", "dfs", "random"])
+def test_ldg_parity(graph, order):
+    events = list(stream_edges(graph, order, seed=3))
+    new, old = _states(graph)
+    LDGPartitioner(new).ingest_all(events)
+    LegacyLDGPartitioner(old).ingest_all(events)
+    assert new.assignment() == old.assignment()
+
+
+@pytest.mark.parametrize("order", ["bfs", "random"])
+def test_fennel_parity(graph, order):
+    events = list(stream_edges(graph, order, seed=3))
+    new, old = _states(graph)
+    FennelPartitioner(new, graph.num_vertices, graph.num_edges).ingest_all(events)
+    LegacyFennelPartitioner(old, graph.num_vertices, graph.num_edges).ingest_all(events)
+    assert new.assignment() == old.assignment()
+
+
+def test_hash_parity(graph):
+    events = list(stream_edges(graph, "random", seed=3))
+    new, old = _states(graph)
+    HashPartitioner(new, seed=7).ingest_all(events)
+    LegacyHashPartitioner(old, seed=7).ingest_all(events)
+    assert new.assignment() == old.assignment()
+
+
+@pytest.mark.parametrize("order,window", [("bfs", 120), ("random", 200)])
+def test_loom_parity(graph, workload, order, window):
+    """Full-stack parity: matcher + auction + LDG fallback, end to end."""
+    events = list(stream_edges(graph, order, seed=3))
+    new, old = _states(graph)
+    LoomPartitioner(new, workload, window_size=window, seed=0).ingest_all(events)
+    LegacyLoomPartitioner(old, workload, window_size=window, seed=0).ingest_all(events)
+    assert new.assignment() == old.assignment()
+
+
+def test_loom_parity_neighbor_aware_bids(graph, workload):
+    """The ablation bid path (id-keyed in the live stack, vertex-keyed in
+    the legacy one) must count the same overlaps."""
+    events = list(stream_edges(graph, "random", seed=5))
+    new, old = _states(graph)
+    LoomPartitioner(
+        new, workload, window_size=150, seed=0, neighbor_aware_bids=True
+    ).ingest_all(events)
+    LegacyLoomPartitioner(
+        old, workload, window_size=150, seed=0, neighbor_aware_bids=True
+    ).ingest_all(events)
+    assert new.assignment() == old.assignment()
+
+
+def test_parity_on_synthetic_stream():
+    """The benchmark's stream generator feeds both stacks identically."""
+    events = list(synthetic_stream(500, 1_500, seed=9))
+    vertices = {ev.u for ev in events} | {ev.v for ev in events}
+    new = PartitionState.for_graph(8, len(vertices))
+    old = DictPartitionState.for_graph(8, len(vertices))
+    LDGPartitioner(new).ingest_all(events)
+    LegacyLDGPartitioner(old).ingest_all(events)
+    assert new.assignment() == old.assignment()
+    assert new.num_assigned == len(vertices)

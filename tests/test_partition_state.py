@@ -1,0 +1,194 @@
+"""Property-style invariants of the array-backed :class:`PartitionState`.
+
+Random assignment sequences are replayed against a naive reference model
+(a dict + list-of-sets, the semantics of the seed implementation) and the
+two must agree on every query the public API offers.  Error paths
+(permanence, range checks) and the interning layer get direct tests.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.interning import VertexInterner
+from repro.partitioning.state import UNASSIGNED, PartitionState
+
+
+class ReferenceModel:
+    """The obviously-correct dict/sets model the arrays must match."""
+
+    def __init__(self, k, capacity):
+        self.k = k
+        self.capacity = float(capacity)
+        self.assignment = {}
+        self.members = [set() for _ in range(k)]
+
+    def assign(self, v, p):
+        self.assignment[v] = p
+        self.members[p].add(v)
+
+
+def _random_vertex(rng):
+    kind = rng.randrange(3)
+    if kind == 0:
+        return rng.randrange(120)
+    if kind == 1:
+        return f"v{rng.randrange(120)}"
+    return ("t", rng.randrange(120))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), k=st.integers(1, 8))
+def test_state_agrees_with_reference_model(seed, k):
+    rng = random.Random(seed)
+    capacity = rng.randint(5, 60)
+    state = PartitionState(k, capacity)
+    model = ReferenceModel(k, capacity)
+
+    for _ in range(rng.randrange(1, 150)):
+        v = _random_vertex(rng)
+        p = rng.randrange(k)
+        if v in model.assignment:
+            if model.assignment[v] == p:
+                state.assign(v, p)  # same-partition re-assign is a no-op
+            else:
+                with pytest.raises(ValueError, match="permanent"):
+                    state.assign(v, p)
+            continue
+        state.assign(v, p)
+        model.assign(v, p)
+
+    assert state.sizes() == [len(m) for m in model.members]
+    assert state.num_assigned == len(model.assignment)
+    assert state.assignment() == model.assignment
+    assert state.min_size() == min(len(m) for m in model.members)
+    assert state.smallest_partition() == state.sizes().index(min(state.sizes()))
+    assert state.open_partitions() == [
+        i for i in range(k) if len(model.members[i]) < capacity
+    ]
+    probe = [_random_vertex(rng) for _ in range(30)] + list(model.assignment)[:10]
+    for i in range(k):
+        assert state.members(i) == model.members[i]
+        assert state.size(i) == len(model.members[i])
+        assert state.is_full(i) == (len(model.members[i]) >= capacity)
+        assert state.residual_capacity(i) == pytest.approx(
+            max(0.0, 1.0 - len(model.members[i]) / capacity)
+        )
+        assert state.count_in_partition(probe, i) == sum(
+            1 for v in probe if v in model.members[i]
+        )
+    for v in probe:
+        assert state.partition_of(v) == model.assignment.get(v)
+        assert state.is_assigned(v) == (v in model.assignment)
+        assert (v in state) == (v in model.assignment)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), k=st.integers(1, 6))
+def test_id_layer_matches_vertex_layer(seed, k):
+    """The *_id twins and the bitsets agree with the vertex-keyed API."""
+    rng = random.Random(seed)
+    state = PartitionState(k, rng.randint(10, 50))
+    vertices = [_random_vertex(rng) for _ in range(80)]
+    ids = state.intern_many(vertices)
+    assert ids == state.intern_many(vertices)  # interning is idempotent
+
+    for vid in ids:
+        if rng.random() < 0.6 and not state.is_assigned_id(vid):
+            state.assign_id(vid, rng.randrange(k))
+
+    counts = state.neighbor_partition_counts(set(ids))
+    assert sum(counts) == len({i for i in ids if state.is_assigned_id(i)})
+    for p in range(k):
+        assert counts[p] == state.count_ids_in_partition(set(ids), p)
+        assert counts[p] == state.count_in_partition(set(vertices), p)
+        for vid, v in zip(ids, vertices):
+            assert state.in_partition_id(vid, p) == (state.partition_of(v) == p)
+    for vid, v in zip(ids, vertices):
+        p = state.partition_of_id(vid)
+        assert (None if p == UNASSIGNED else p) == state.partition_of(v)
+
+
+class TestErrorPaths:
+    def test_move_raises_and_leaves_state_intact(self):
+        state = PartitionState(3, 10)
+        state.assign("v", 1)
+        with pytest.raises(ValueError, match="permanent"):
+            state.assign("v", 2)
+        assert state.partition_of("v") == 1
+        assert state.sizes() == [0, 1, 0]
+
+    def test_assign_id_range_checked(self):
+        state = PartitionState(2, 10)
+        vid = state.intern("v")
+        with pytest.raises(IndexError):
+            state.assign_id(vid, 2)
+        with pytest.raises(IndexError):
+            state.assign_id(vid, -1)
+        assert not state.is_assigned_id(vid)
+
+    def test_members_range_checked(self):
+        with pytest.raises(IndexError):
+            PartitionState(2, 10).members(5)
+
+    def test_unknown_ids_are_unassigned(self):
+        state = PartitionState(2, 10)
+        assert state.partition_of_id(999) == UNASSIGNED
+        assert not state.is_assigned_id(999)
+        assert state.partition_of("never-seen") is None
+
+
+class TestInterner:
+    def test_dense_first_seen_ids(self):
+        interner = VertexInterner()
+        assert [interner.intern(v) for v in ("a", "b", "a", "c")] == [0, 1, 0, 2]
+        assert interner.vertex(1) == "b"
+        assert interner.id_of("c") == 2
+        assert interner.id_of("zzz") is None
+        assert len(interner) == 3
+        assert "b" in interner and "zzz" not in interner
+        assert list(interner.vertices()) == ["a", "b", "c"]
+
+    def test_serialization_roundtrip(self):
+        interner = VertexInterner()
+        interner.intern_many([("x", 1), "y", 7])
+        rebuilt = VertexInterner.from_list(interner.to_list())
+        assert rebuilt.to_list() == interner.to_list()
+        assert rebuilt.id_of("y") == 1
+
+    def test_from_list_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            VertexInterner.from_list(["a", "b", "a"])
+
+    def test_vertex_rejects_negative(self):
+        with pytest.raises(IndexError):
+            VertexInterner().vertex(-1)
+
+    def test_shared_interner_across_states(self):
+        interner = VertexInterner()
+        s1 = PartitionState(2, 10, interner=interner)
+        s2 = PartitionState(4, 10, interner=interner)
+        assert s1.intern("v") == s2.intern("v")
+        s1.assign("v", 1)
+        assert s2.partition_of("v") is None  # states stay independent
+
+    def test_partitioners_tolerate_interner_ahead_of_state(self):
+        """Regression: a shared interner can know ids this state's vector
+        hasn't grown to; the partitioner hot paths must not index past it."""
+        from repro.graph.stream import EdgeEvent
+        from repro.partitioning.fennel import FennelPartitioner
+        from repro.partitioning.hash_partitioner import HashPartitioner
+        from repro.partitioning.ldg import LDGPartitioner
+
+        for build in (
+            lambda s: HashPartitioner(s),
+            lambda s: LDGPartitioner(s),
+            lambda s: FennelPartitioner(s, 10, 20),
+        ):
+            interner = VertexInterner()
+            other = PartitionState(2, 10, interner=interner)
+            other.intern("a")  # grows only `other`'s vector
+            state = PartitionState(2, 10, interner=interner)
+            build(state).ingest(EdgeEvent("a", "x", "b", "y"))
+            assert state.is_assigned("a") and state.is_assigned("b")

@@ -18,7 +18,7 @@ from repro.partitioning.metrics import (
 )
 from repro.partitioning.state import PartitionState
 
-from conftest import make_random_labelled_graph
+from helpers import make_random_labelled_graph
 
 
 class TestPartitionState:

@@ -21,7 +21,7 @@ from repro.partitioning.state import PartitionState
 from repro.query.pattern import path_pattern
 from repro.query.workload import Workload
 
-from conftest import make_random_labelled_graph
+from helpers import make_random_labelled_graph
 
 
 def _fig5_workload() -> Workload:

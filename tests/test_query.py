@@ -27,7 +27,7 @@ from repro.query.pattern import (
 )
 from repro.query.workload import Workload
 
-from conftest import make_random_labelled_graph
+from helpers import make_random_labelled_graph
 
 
 class TestPatternConstructors:

@@ -15,7 +15,7 @@ from repro.graph.stream import (
     stream_to_graph,
 )
 
-from conftest import make_random_labelled_graph
+from helpers import make_random_labelled_graph
 
 
 class TestEdgeEvent:

@@ -1,11 +1,26 @@
 """Streaming-throughput benchmark: interned arrays vs the dict-based seed.
 
 Drives each system over an identical ≥100k-edge synthetic stream twice —
-once with the frozen pre-refactor implementation
-(:mod:`repro.partitioning.legacy`) and once with the live interned stack —
-and reports edges/second plus the speedup.  The paper's Table 2 measures
-exactly this ingestion cost; this benchmark tracks how the reproduction's
-constant factors evolve PR over PR.
+once with the frozen placement stack (:mod:`repro.partitioning.legacy`)
+and once with the live interned stack — and reports edges/second plus the
+speedup.  The paper's Table 2 measures exactly this ingestion cost; this
+benchmark tracks how the reproduction's constant factors evolve PR over PR.
+
+Two comparisons are recorded per system:
+
+* ``speedup`` — frozen placement stack vs live stack, *same run*.  The
+  stream matcher is shared between both (the parity design), so for Loom
+  this approximately isolates the state/auction rewrite (the legacy side
+  additionally pays the id→vertex view translation at the auction
+  boundary, so its number is a slight under-estimate of the seed's).
+* ``gain_vs_baseline`` — live edges/sec vs the ``current_edges_per_sec``
+  recorded in the previously committed ``BENCH_throughput.json``.  This is
+  where cross-PR wins show up — but it is a *cross-run* ratio and absorbs
+  machine/load drift between the two sessions.  Read it against the
+  untouched systems: their ``gain_vs_baseline`` estimates pure drift, and
+  the excess of a changed system over that estimate is the
+  code-attributable part.  For a drift-free number, benchmark the old
+  commit in a worktree back to back on the same machine.
 
 Run from the repository root::
 
@@ -130,7 +145,45 @@ def _best_of_interleaved(repeats, build_a, build_b, events):
     return best_a, state_a, best_b, state_b
 
 
-def run(args) -> dict:
+def load_baseline(path):
+    """The previously committed results payload, or ``None`` when the file
+    is missing or unreadable (first run, CI scratch dirs)."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError):
+        return None
+
+
+def _baseline_eps(baseline, system, args):
+    """The baseline's ``current_edges_per_sec`` for ``system`` — but only
+    when the baseline measured the *same workload*.
+
+    Edges/sec from a different synthetic graph or window are not
+    comparable, so everything that shapes the stream must match: edge and
+    vertex counts, k, seed and (for Loom) the truncated stream and window.
+    ``repeats`` is excluded — it changes measurement confidence, not the
+    workload.  Non-comparable baselines are reported once on stderr rather
+    than silently skipped.
+    """
+    if baseline is None:
+        return None
+    cfg = baseline.get("config", {})
+    keys = ["edges", "vertices", "k", "seed"]
+    if system == "loom":
+        keys += ["loom_edges", "loom_window"]
+    mismatched = [k for k in keys if cfg.get(k) != getattr(args, k)]
+    if mismatched:
+        print(
+            f"note: baseline config differs on {', '.join(mismatched)}; "
+            f"gain_vs_baseline omitted for {system}",
+            file=sys.stderr,
+        )
+        return None
+    return baseline.get("results", {}).get(system, {}).get("current_edges_per_sec")
+
+
+def run(args, baseline=None) -> dict:
     workload = bench_workload()
     results = {}
     for system in args.systems:
@@ -170,10 +223,17 @@ def run(args) -> dict:
             "current_edges_per_sec": round(num_edges / current_seconds, 1),
             "speedup": round(legacy_seconds / current_seconds, 3),
         }
+        note = ""
+        base_eps = _baseline_eps(baseline, system, args)
+        if base_eps:
+            gain = results[system]["current_edges_per_sec"] / base_eps
+            results[system]["baseline_edges_per_sec"] = base_eps
+            results[system]["gain_vs_baseline"] = round(gain, 3)
+            note = f", {gain:.2f}x vs committed baseline"
         print(
             f"{system:>7}: {results[system]['legacy_edges_per_sec']:>12,.0f} -> "
             f"{results[system]['current_edges_per_sec']:>12,.0f} edges/s "
-            f"({results[system]['speedup']:.2f}x, {num_edges:,} edges)"
+            f"({results[system]['speedup']:.2f}x, {num_edges:,} edges{note})"
         )
     return results
 
@@ -192,13 +252,17 @@ def main(argv=None) -> int:
     parser.add_argument("--systems", nargs="+",
                         default=["ldg", "fennel", "hash", "loom"])
     parser.add_argument("--out", default=str(Path(__file__).resolve().parent.parent / "BENCH_throughput.json"))
+    parser.add_argument("--baseline", default=None,
+                        help="previous results file to compare against "
+                             "(default: the --out path before overwriting)")
     args = parser.parse_args(argv)
 
     if args.edges < 100_000:
         print(f"note: --edges {args.edges} is below the 100k-edge acceptance floor",
               file=sys.stderr)
 
-    results = run(args)
+    baseline = load_baseline(args.baseline if args.baseline is not None else args.out)
+    results = run(args, baseline)
     payload = {
         "benchmark": "streaming throughput, legacy dict state vs interned arrays",
         "config": {

@@ -36,8 +36,9 @@ boundary, and how to register a custom partitioner.
 from repro.core.allocation import EqualOpportunism
 from repro.core.collision import acceptance_probability, figure4_curves
 from repro.core.loom import LoomPartitioner
-from repro.core.restream import migration_volume, restream
+from repro.core.restream import migration_stats, migration_volume, restream
 from repro.core.matching import Match, StreamMatcher
+from repro.core.window import LabelConflictError
 from repro.core.motifs import MotifIndex
 from repro.core.signature import FactorMultiset, SignatureScheme
 from repro.core.tpstry import TPSTry
@@ -62,6 +63,7 @@ __all__ = [
     "FennelPartitioner",
     "HashPartitioner",
     "LDGPartitioner",
+    "LabelConflictError",
     "LabelledGraph",
     "LoomPartitioner",
     "Match",
@@ -78,6 +80,7 @@ __all__ = [
     "cycle_pattern",
     "edge_pattern",
     "figure4_curves",
+    "migration_stats",
     "migration_volume",
     "path_pattern",
     "restream",

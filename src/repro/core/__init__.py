@@ -25,6 +25,7 @@ Modules
 from repro.core.signature import FactorMultiset, SignatureScheme
 from repro.core.tpstry import TPSTry, TrieNode
 from repro.core.motifs import MotifIndex
+from repro.core.window import LabelConflictError, SlidingWindow
 from repro.core.matching import Match, StreamMatcher
 from repro.core.allocation import EqualOpportunism
 from repro.core.loom import LoomPartitioner
@@ -32,10 +33,12 @@ from repro.core.loom import LoomPartitioner
 __all__ = [
     "EqualOpportunism",
     "FactorMultiset",
+    "LabelConflictError",
     "LoomPartitioner",
     "Match",
     "MotifIndex",
     "SignatureScheme",
+    "SlidingWindow",
     "StreamMatcher",
     "TPSTry",
     "TrieNode",

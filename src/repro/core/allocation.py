@@ -31,11 +31,11 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.matching import Match
-from repro.graph.labelled_graph import Edge, Vertex
+from repro.graph.labelled_graph import Vertex
 from repro.partitioning.state import PartitionState
 
-FallbackChooser = Callable[[Set[Vertex]], int]
-"""Given a cluster's vertex set, pick a partition when every bid is zero."""
+FallbackChooser = Callable[[Set[int]], int]
+"""Given a cluster's vertex-id set, pick a partition when every bid is zero."""
 
 DEFAULT_ALPHA = 2.0 / 3.0
 """The paper's empirically chosen rationing aggression (Sec. 4)."""
@@ -46,18 +46,32 @@ DEFAULT_BALANCE_CAP = 1.1
 
 @dataclass
 class AllocationDecision:
-    """Outcome of one equal-opportunism auction."""
+    """Outcome of one equal-opportunism auction.
+
+    ``assigned_edges`` holds packed edge keys and ``assigned_vertices``
+    interner ids — the auction runs on id-based matches end to end; callers
+    needing vertex objects translate through the state's interner.
+    """
 
     winner: int
     assigned_matches: List[Match]
-    assigned_edges: Set[Edge]
-    assigned_vertices: Set[Vertex]
+    assigned_edges: Set[int]
+    assigned_vertices: Set[int]
     bids: List[float]
     fallback: bool  # True when every bid was zero and balance chose
 
 
 class EqualOpportunism:
-    """The equal-opportunism heuristic (Eqs. 1–3) over a shared state."""
+    """The equal-opportunism heuristic (Eqs. 1–3) over a shared state.
+
+    Matches are id-based, and the ids must come from **this state's
+    interner**: overlap counts index ``state.assignment_vector`` with
+    ``match.vertices`` and the auction assigns through ``assign_id``.
+    Loom guarantees this by constructing its :class:`StreamMatcher` with
+    ``state.interner``; a standalone matcher's private interner is a
+    *different id space*, and pairing it with a separate state miscounts
+    silently.  Build such matchers with ``interner=state.interner``.
+    """
 
     def __init__(
         self,
@@ -74,10 +88,10 @@ class EqualOpportunism:
         if balance_cap < 1.0:
             raise ValueError("balance_cap must be at least 1")
         self.state = state
-        # Live views of the interned state, bound once: the auction scores
+        # Live view of the interned state, bound once: the auction scores
         # every match of every eviction, so per-vertex method dispatch here
-        # is measurable at streaming rates.
-        self._ids = state.interner.id_map
+        # is measurable at streaming rates.  Matches arrive id-keyed, so no
+        # vertex → id translation happens per auction at all.
         self._assignment = state.assignment_vector
         self.alpha = alpha
         self.balance_cap = balance_cap
@@ -128,22 +142,18 @@ class EqualOpportunism:
         Counts the match's own assigned vertices and, when a neighbour
         function is available, the assigned neighbours of the match — one
         count per distinct vertex, like LDG counts a vertex's placed
-        neighbours.  The base count is one pass over the interned
-        assignment vector (``count_in_partition`` over int arrays).
+        neighbours.  Match vertices *are* interner ids, so the base count
+        is a direct index into the assignment vector.
         """
         counts = [0] * self.state.k
-        ids = self._ids
         assignment = self._assignment
         n = len(assignment)
-        match_ids = set()
-        for v in match.vertices:
-            vid = ids.get(v)
-            if vid is not None:
-                match_ids.add(vid)
-                if vid < n:
-                    p = assignment[vid]
-                    if p >= 0:
-                        counts[p] += 1
+        match_ids = match.vertices
+        for vid in match_ids:
+            if vid < n:
+                p = assignment[vid]
+                if p >= 0:
+                    counts[p] += 1
         if self.neighbor_ids_fn is not None:
             seen_ids: Set[int] = set()
             for vid in match_ids:
@@ -155,11 +165,15 @@ class EqualOpportunism:
                             if p >= 0:
                                 counts[p] += 1
         elif self.neighbor_fn is not None:
+            # Vertex-keyed twin for boundary callers (ablation harnesses):
+            # resolve ids to objects once per match, not per partition.
+            vertex = self.state.interner.vertex
             partition_of = self.state.partition_of
+            match_vertices = {vertex(vid) for vid in match_ids}
             seen: Set[Vertex] = set()
-            for v in match.vertices:
+            for v in match_vertices:
                 for w in self.neighbor_fn(v):
-                    if w not in match.vertices and w not in seen:
+                    if w not in match_vertices and w not in seen:
                         seen.add(w)
                         p = partition_of(w)
                         if p is not None:
@@ -200,41 +214,61 @@ class EqualOpportunism:
             raise ValueError("allocate requires at least one match")
 
         total = len(matches)
-        overlaps = [self._overlap_counts(m) for m in matches]
+        # Inlined Eq. 2 (same arithmetic as :meth:`ration`): one sizes
+        # snapshot and one min() instead of k of each, per auction.
+        k = self.state.k
+        if self.rationing_enabled:
+            sizes = self.state.sizes()
+            capacity = self.state.capacity
+            smallest = max(min(sizes), 1)
+            alpha = self.alpha
+            rations = [
+                0.0
+                if size >= capacity
+                else (1.0 if size <= smallest else min(1.0, alpha * smallest / size))
+                for size in sizes
+            ]
+        else:
+            rations = [1.0] * k
+        prefix_lengths = [math.ceil(r * total) for r in rations]
+        # Bids only look at each partition's rationed prefix, so overlap
+        # counts beyond the longest prefix are never read — and Me can be
+        # much longer than any ration allows.
+        scored = max(max(prefix_lengths), 1)
+        overlaps = [self._overlap_counts(m) for m in matches[:scored]]
         supports = [
-            (m.support if self.support_weighting else 1.0) for m in matches
+            (m.support if self.support_weighting else 1.0) for m in matches[:scored]
         ]
         residuals = [self.state.residual_capacity(i) for i in range(self.state.k)]
-        prefix_lengths: List[int] = []
-        bids: List[float] = []
-        for i in range(self.state.k):
-            n_i = math.ceil(self.ration(i) * total)
-            prefix_lengths.append(n_i)
-            bids.append(
-                sum(overlaps[j][i] * residuals[i] * supports[j] for j in range(n_i))
+        bids: List[float] = [
+            sum(
+                overlaps[j][i] * residuals[i] * supports[j]
+                for j in range(prefix_lengths[i])
             )
+            for i in range(self.state.k)
+        ]
 
         winner = self._pick_winner(bids)
         fallback = bids[winner] <= 0.0
         if fallback:
-            cluster_vertices: Set[Vertex] = set()
+            cluster_ids: Set[int] = set()
             for m in matches:
-                cluster_vertices |= m.vertices
+                cluster_ids |= m.vertices
             if fallback_chooser is not None:
-                winner = fallback_chooser(cluster_vertices)
+                winner = fallback_chooser(cluster_ids)
             else:
                 open_parts = self.state.open_partitions() or list(range(self.state.k))
                 winner = min(open_parts, key=lambda i: (self.state.size(i), i))
 
         take = max(1, prefix_lengths[winner])  # the evicted edge must go
         assigned = list(matches[:take])
-        edges: Set[Edge] = set()
-        vertices: Set[Vertex] = set()
+        edges: Set[int] = set()
+        vertices: Set[int] = set()
         for m in assigned:
             edges |= m.edges
             vertices |= m.vertices
-        for v in sorted(vertices, key=repr):
-            if self.state.is_assigned(v):
+        for vid in sorted(vertices):  # id order: deterministic, repr-free
+            if self.state.is_assigned_id(vid):
                 continue
             if self.state.is_full(winner):
                 # The hard cap (ν = b = 1.1, "emulating Fennel") is strict:
@@ -242,9 +276,9 @@ class EqualOpportunism:
                 # spills its tail to the least-loaded open partition.
                 spill_to = self.state.open_partitions()
                 target = min(spill_to, key=lambda i: (self.state.size(i), i)) if spill_to else winner
-                self.state.assign(v, target)
+                self.state.assign_id(vid, target)
             else:
-                self.state.assign(v, winner)
+                self.state.assign_id(vid, winner)
         return AllocationDecision(
             winner=winner,
             assigned_matches=assigned,

@@ -68,10 +68,13 @@ class LoomPartitioner(StreamingPartitioner):
         self.scheme = scheme or SignatureScheme(workload.label_set(), p=prime, seed=seed)
         self.trie = TPSTry.from_workload(workload, self.scheme)
         self.index = MotifIndex(self.trie, support_threshold)
+        # The matcher shares the state's interner: match vertex ids index
+        # the assignment vector directly, so the auction never re-interns.
         self.matcher = StreamMatcher(
             self.index,
             window_size,
             max_matches_per_vertex=max_matches_per_vertex,
+            interner=state.interner,
         )
         # Seen-so-far adjacency over interned ids: used by the LDG placement
         # of non-motif edges and by the auction's neighbour-aware overlaps.
@@ -101,7 +104,7 @@ class LoomPartitioner(StreamingPartitioner):
     # ------------------------------------------------------------------
     def ingest(self, event: EdgeEvent) -> None:
         uid, vid = self._record(event.u, event.v)
-        if not self.matcher.offer(event):
+        if not self.matcher.offer(event, uid, vid):
             # Sec. 3: the edge can never join a motif match — place it now
             # with LDG and do not displace window edges.  Endpoints that
             # currently sit in the window are *not* pinned here: their
@@ -128,8 +131,16 @@ class LoomPartitioner(StreamingPartitioner):
         uid = self.state.intern(u)
         vid = self.state.intern(v)
         adj = self._adj
-        adj.setdefault(uid, set()).add(vid)
-        adj.setdefault(vid, set()).add(uid)
+        bucket = adj.get(uid)
+        if bucket is None:
+            adj[uid] = {vid}
+        else:
+            bucket.add(vid)
+        bucket = adj.get(vid)
+        if bucket is None:
+            adj[vid] = {uid}
+        else:
+            bucket.add(uid)
         return uid, vid
 
     def _ldg_place(self, v: Vertex, vid: int) -> None:
@@ -143,14 +154,15 @@ class LoomPartitioner(StreamingPartitioner):
         """
         if self.state.is_assigned_id(vid):
             return
-        if self.matcher.window.graph.has_vertex(v):
+        if self.matcher.window.has_vertex_id(vid):
             return
         self.state.assign_id(vid, ldg_choose_ids(self.state, self._adj.get(vid, ())))
 
-    def _ldg_cluster_choice(self, cluster_vertices) -> int:
+    def _ldg_cluster_choice(self, cluster_ids: Set[int]) -> int:
         """LDG over the union of the cluster's seen neighbourhoods — the
-        zero-bid fallback (same heuristic as unmatched edges, Sec. 4)."""
-        cluster_ids = set(self.state.intern_many(cluster_vertices))
+        zero-bid fallback (same heuristic as unmatched edges, Sec. 4).
+        ``cluster_ids`` arrives already interned (the auction passes match
+        ids straight through)."""
         neighborhood: Set[int] = set()
         for vid in cluster_ids:
             neighborhood |= self._adj.get(vid, set())
@@ -176,7 +188,7 @@ class LoomPartitioner(StreamingPartitioner):
                 vid = self.state.intern(v)
                 if not self.state.is_assigned_id(vid):
                     self.state.assign_id(vid, ldg_choose_ids(self.state, self._adj.get(vid, ())))
-            self.matcher.remove_cluster({eviction.event.edge})
+            self.matcher.remove_cluster({eviction.ekey})
 
     # ------------------------------------------------------------------
     # Introspection

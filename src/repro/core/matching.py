@@ -1,4 +1,4 @@
-"""Stream motif matching (paper Sec. 3, Alg. 2).
+"""Stream motif matching (paper Sec. 3, Alg. 2), on interned integer ids.
 
 As each edge ``e = (v1, v2)`` arrives, the matcher maintains ``matchList`` —
 a map from window vertices to the motif-matching sub-graphs containing them
@@ -20,6 +20,18 @@ Sec. 3), so each match in the window was discoverable when its last edge
 arrived: extension finds ``C_u + e`` for the component of ``M − e``
 containing ``v1``, and one pair join merges in the component at ``v2``.
 
+The matcher is the measured hot path of the whole reproduction (Table 2 —
+ingestion cost is matcher-dominated), so everything in here runs on dense
+integer ids: vertices are interner ids, edges are packed id pairs
+(:func:`~repro.graph.interning.pack_edge`), and every ordering — match sort
+keys, ``_grow``'s edge order — is a plain integer comparison.  The
+``repr()``-string orderings this replaces were both slow (string building
+per comparison) and *wrong*: for vertex objects without a value-based
+``__repr__`` they embedded memory addresses, so match order, auction
+tie-breaks and therefore final assignments silently varied across runs.
+Vertex objects are translated back only at the public boundary
+(:meth:`StreamMatcher.resolve_vertices` / :meth:`StreamMatcher.resolve_edges`).
+
 A per-vertex match cap (``max_matches_per_vertex``) bounds the combinatorial
 worst case on dense, label-homogeneous hubs; it is generous by default and
 its effect is measured in the ablation benchmarks.
@@ -31,31 +43,42 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.motifs import MotifIndex
-from repro.core.signature import FactorMultiset
 from repro.core.tpstry import TrieNode
-from repro.core.window import SlidingWindow
-from repro.graph.labelled_graph import Edge, Vertex, normalize_edge
+from repro.core.window import LabelConflictError, SlidingWindow
+from repro.graph.interning import EDGE_MASK, EDGE_SHIFT, VertexInterner, pack_edge
+from repro.graph.labelled_graph import Vertex
 from repro.graph.stream import EdgeEvent
 
-EdgeSet = FrozenSet[Edge]
+EdgeSet = FrozenSet[int]
+"""A set of packed edge keys (see :func:`~repro.graph.interning.pack_edge`)."""
 
 
 class Match:
-    """A sub-graph of window edges matching a motif (an entry of matchList)."""
+    """A sub-graph of window edges matching a motif (an entry of matchList).
+
+    ``edges`` holds packed edge keys and ``vertices`` interner ids; both are
+    integers end to end.
+    """
 
     __slots__ = ("edges", "node", "vertices", "_degrees", "_hash", "_sort_key")
 
-    def __init__(self, edges: EdgeSet, node: TrieNode) -> None:
+    def __init__(
+        self,
+        edges: EdgeSet,
+        node: TrieNode,
+        _degrees: Optional[Dict[int, int]] = None,
+    ) -> None:
         self.edges = edges
         self.node = node
-        degrees: Dict[Vertex, int] = {}
-        for u, v in edges:
-            degrees[u] = degrees.get(u, 0) + 1
-            degrees[v] = degrees.get(v, 0) + 1
+        # The matcher's construction sites already hold the degree map
+        # (extension adds one edge to a known match; _grow threads degrees
+        # through its backtracking) and pass it in; it is never mutated
+        # after construction, so sharing is safe.
+        degrees = _edge_set_degrees(edges) if _degrees is None else _degrees
         self._degrees = degrees
-        self.vertices: FrozenSet[Vertex] = frozenset(degrees)
+        self.vertices: FrozenSet[int] = frozenset(degrees)
         self._hash = hash((self.edges, node.node_id))
-        self._sort_key: Optional[Tuple[float, int, str]] = None
+        self._sort_key: Optional[Tuple[float, int, Tuple[int, ...]]] = None
 
     @property
     def support(self) -> float:
@@ -65,13 +88,13 @@ class Match:
     def num_edges(self) -> int:
         return len(self.edges)
 
-    def degree_of(self, v: Vertex) -> int:
-        """Degree of ``v`` *within this match* (0 if absent) — the quantity
-        the incremental factor computation needs (Sec. 2.1)."""
-        return self._degrees.get(v, 0)
+    def degree_of(self, vid: int) -> int:
+        """Degree of id ``vid`` *within this match* (0 if absent) — the
+        quantity the incremental factor computation needs (Sec. 2.1)."""
+        return self._degrees.get(vid, 0)
 
-    def contains_edge(self, e: Edge) -> bool:
-        return e in self.edges
+    def contains_edge(self, ekey: int) -> bool:
+        return ekey in self.edges
 
     def __hash__(self) -> int:
         return self._hash
@@ -83,15 +106,16 @@ class Match:
             and self.node.node_id == other.node.node_id
         )
 
-    def sort_key(self) -> Tuple[float, int, str]:
+    def sort_key(self) -> Tuple[float, int, Tuple[int, ...]]:
         """Support-descending order with deterministic tie-breaks (Sec. 4):
-        smaller matches first among equals, then lexicographic.  Cached —
+        smaller matches first among equals, then by sorted edge keys — an
+        integer comparison, stable across runs and hash seeds.  Cached —
         the matcher sorts match sets on every edge arrival."""
         if self._sort_key is None:
             self._sort_key = (
                 -self.support,
                 len(self.edges),
-                repr(sorted(self.edges, key=repr)),
+                tuple(sorted(self.edges)),
             )
         return self._sort_key
 
@@ -100,7 +124,7 @@ class Match:
 
 
 class MatchList:
-    """The matchList map of Sec. 3, indexed by vertex *and* by edge.
+    """The matchList map of Sec. 3, indexed by vertex id *and* by edge key.
 
     The vertex index answers Alg. 2's "matches connected to this edge"; the
     edge index answers eviction's "matches containing this edge" and the
@@ -108,48 +132,58 @@ class MatchList:
     """
 
     def __init__(self) -> None:
-        self._by_vertex: Dict[Vertex, Set[Match]] = {}
-        self._by_edge: Dict[Edge, Set[Match]] = {}
+        self._by_vertex: Dict[int, Set[Match]] = {}
+        self._by_edge: Dict[int, Set[Match]] = {}
         self._all: Set[Match] = set()
 
     def add(self, match: Match) -> bool:
         if match in self._all:
             return False
         self._all.add(match)
-        for v in match.vertices:
-            self._by_vertex.setdefault(v, set()).add(match)
-        for e in match.edges:
-            self._by_edge.setdefault(e, set()).add(match)
+        by_vertex = self._by_vertex
+        for vid in match.vertices:
+            bucket = by_vertex.get(vid)
+            if bucket is None:
+                by_vertex[vid] = {match}
+            else:
+                bucket.add(match)
+        by_edge = self._by_edge
+        for ekey in match.edges:
+            bucket = by_edge.get(ekey)
+            if bucket is None:
+                by_edge[ekey] = {match}
+            else:
+                bucket.add(match)
         return True
 
     def discard(self, match: Match) -> None:
         if match not in self._all:
             return
         self._all.discard(match)
-        for v in match.vertices:
-            bucket = self._by_vertex.get(v)
+        for vid in match.vertices:
+            bucket = self._by_vertex.get(vid)
             if bucket is not None:
                 bucket.discard(match)
                 if not bucket:
-                    del self._by_vertex[v]
-        for e in match.edges:
-            bucket = self._by_edge.get(e)
+                    del self._by_vertex[vid]
+        for ekey in match.edges:
+            bucket = self._by_edge.get(ekey)
             if bucket is not None:
                 bucket.discard(match)
                 if not bucket:
-                    del self._by_edge[e]
+                    del self._by_edge[ekey]
 
-    def matches_at(self, v: Vertex) -> Set[Match]:
-        return self._by_vertex.get(v, set())
+    def matches_at(self, vid: int) -> Set[Match]:
+        return self._by_vertex.get(vid, set())
 
-    def matches_containing_edge(self, e: Edge) -> Set[Match]:
-        return self._by_edge.get(e, set())
+    def matches_containing_edge(self, ekey: int) -> Set[Match]:
+        return self._by_edge.get(ekey, set())
 
-    def drop_edges(self, edges: Iterable[Edge]) -> Set[Match]:
-        """Remove every match containing any of ``edges``; returns them."""
+    def drop_edges(self, ekeys: Iterable[int]) -> Set[Match]:
+        """Remove every match containing any of ``ekeys``; returns them."""
         doomed: Set[Match] = set()
-        for e in edges:
-            doomed |= self._by_edge.get(e, set())
+        for ekey in ekeys:
+            doomed |= self._by_edge.get(ekey, set())
         for match in doomed:
             self.discard(match)
         return doomed
@@ -171,6 +205,7 @@ class Eviction:
 
     event: EdgeEvent
     matches: List[Match]
+    ekey: int
 
 
 class StreamMatcher:
@@ -181,11 +216,16 @@ class StreamMatcher:
         index: MotifIndex,
         window_size: int,
         max_matches_per_vertex: int = 64,
+        interner: Optional[VertexInterner] = None,
     ) -> None:
         if max_matches_per_vertex < 1:
             raise ValueError("max_matches_per_vertex must be positive")
         self.index = index
-        self.window = SlidingWindow(window_size)
+        #: Vertex ↔ id bijection shared with the window.  Loom passes the
+        #: partition state's interner so match ids index the assignment
+        #: vector directly; a standalone matcher owns a private one.
+        self.interner = interner if interner is not None else VertexInterner()
+        self.window = SlidingWindow(window_size, interner=self.interner)
         self.matchlist = MatchList()
         self.max_matches_per_vertex = max_matches_per_vertex
         # Counters surfaced by the benchmarks / ablations.
@@ -196,31 +236,50 @@ class StreamMatcher:
             "matches_created": 0,
             "pair_joins": 0,
             "capped_registrations": 0,
+            "label_conflicts": 0,
         }
 
     # ------------------------------------------------------------------
     # Edge arrival
     # ------------------------------------------------------------------
-    def offer(self, event: EdgeEvent) -> bool:
+    def offer(
+        self, event: EdgeEvent, uid: Optional[int] = None, vid: Optional[int] = None
+    ) -> bool:
         """Process one arriving edge.
 
         Returns ``True`` if the edge entered the window, ``False`` if it
         cannot match any single-edge motif (the caller must place it
-        immediately — Sec. 3's early exit).
+        immediately — Sec. 3's early exit).  Callers that already interned
+        the endpoints (Loom records adjacency first) pass ``uid``/``vid``
+        to skip the repeat lookup; they must come from this matcher's
+        interner.  Raises
+        :class:`~repro.core.window.LabelConflictError` (counted in
+        ``stats["label_conflicts"]``) when the event relabels a windowed
+        vertex — including a duplicate edge re-arriving with new labels,
+        which the object-keyed matcher used to drop without trace.
         """
         self.stats["edges_offered"] += 1
         root = self.index.single_edge_motif(event.u_label, event.v_label)
         if root is None:
             self.stats["edges_bypassed"] += 1
             return False
-        if not self.window.add(event):
-            return True  # duplicate edge: already buffered, nothing new to match
+        if uid is None or vid is None:
+            intern = self.interner.intern
+            uid = intern(event.u)
+            vid = intern(event.v)
+        ekey = pack_edge(uid, vid)
+        try:
+            if self.window.add_ids(event, uid, vid, ekey) is None:
+                return True  # duplicate edge: already buffered, nothing new to match
+        except LabelConflictError:
+            self.stats["label_conflicts"] += 1
+            raise
         self.stats["edges_windowed"] += 1
 
-        e = event.edge
-        base = Match(frozenset((e,)), root)
+        # Self-loops were rejected by the window above, so uid != vid.
+        base = Match(frozenset((ekey,)), root, {uid: 1, vid: 1})
         existing = sorted(
-            self.matchlist.matches_at(event.u) | self.matchlist.matches_at(event.v),
+            self.matchlist.matches_at(uid) | self.matchlist.matches_at(vid),
             key=Match.sort_key,
         )
 
@@ -232,9 +291,9 @@ class StreamMatcher:
 
         # -- extension: add e to every connected existing match (lines 3-8)
         for m in existing:
-            if e in m.edges:
+            if ekey in m.edges:
                 continue
-            extended = self._extend(m, event)
+            extended = self._extend(m, event, uid, vid, ekey)
             for nm in extended:
                 if self._register(nm):
                     new_matches.append(nm)
@@ -247,28 +306,42 @@ class StreamMatcher:
         #    so size-gate the quadratic loop.
         if existing and new_matches:
             max_edges = self.index.max_motif_edges
-            frontier = [m for m in new_matches if m.num_edges < max_edges]
+            extensible = self.index.extensible_ids
+            frontier = [
+                m
+                for m in new_matches
+                if len(m.edges) < max_edges and m.node.node_id in extensible
+            ]
             while frontier:
                 produced: List[Match] = []
                 for m_new in frontier:
-                    if m_new.num_edges >= max_edges:
-                        continue
+                    n_new = len(m_new.edges)
                     for m_old in existing:
-                        if m_new.num_edges + len(m_old.edges - m_new.edges) > max_edges:
+                        remaining = m_old.edges - m_new.edges
+                        if not remaining:
                             continue
-                        if m_old.edges <= m_new.edges:
+                        if n_new + len(remaining) > max_edges:
                             continue
-                        joined = self._try_join(m_new, m_old)
+                        joined = self._grow(
+                            m_new.edges, m_new.node, remaining, dict(m_new._degrees)
+                        )
                         if joined is not None and self._register(joined):
                             produced.append(joined)
                             self.stats["pair_joins"] += 1
-                frontier = produced
+                frontier = [
+                    m
+                    for m in produced
+                    if len(m.edges) < max_edges and m.node.node_id in extensible
+                ]
         return True
 
     def _register(self, match: Match, mandatory: bool = False) -> bool:
         if not mandatory:
-            for v in match.vertices:
-                if len(self.matchlist.matches_at(v)) >= self.max_matches_per_vertex:
+            by_vertex = self.matchlist._by_vertex
+            cap = self.max_matches_per_vertex
+            for vid in match.vertices:
+                bucket = by_vertex.get(vid)
+                if bucket is not None and len(bucket) >= cap:
                     self.stats["capped_registrations"] += 1
                     return False
         if self.matchlist.add(match):
@@ -276,53 +349,81 @@ class StreamMatcher:
             return True
         return False
 
-    def _extend(self, m: Match, event: EdgeEvent) -> List[Match]:
+    def _extend(
+        self, m: Match, event: EdgeEvent, uid: int, vid: int, ekey: int
+    ) -> List[Match]:
         """Matches formed by adding ``event``'s edge to match ``m``."""
+        if m.node.node_id not in self.index.extensible_ids:
+            return []  # leaf motif: no child could absorb the edge
         delta_key = self.index.scheme.addition_key(
             event.u_label,
             event.v_label,
-            m.degree_of(event.u),
-            m.degree_of(event.v),
+            m.degree_of(uid),
+            m.degree_of(vid),
         )
         children = self.index.motif_children_by_key(m.node, delta_key)
         if not children:
             return []
-        edges = m.edges | {event.edge}
-        return [Match(edges, child) for child in children]
-
-    def _try_join(self, grown: Match, other: Match) -> Optional[Match]:
-        """Grow ``grown`` by the edges of ``other`` one at a time (Alg. 2
-        lines 13-18); ``None`` unless *all* of them can be added through
-        motif trie children."""
-        remaining = other.edges - grown.edges
-        if not remaining:
-            return None
-        return self._grow(grown.edges, grown.node, remaining)
+        edges = m.edges | {ekey}
+        degrees = dict(m._degrees)
+        degrees[uid] = degrees.get(uid, 0) + 1
+        degrees[vid] = degrees.get(vid, 0) + 1
+        return [Match(edges, child, degrees) for child in children]
 
     def _grow(
         self,
         edges: EdgeSet,
         node: TrieNode,
-        remaining: FrozenSet[Edge],
+        remaining: FrozenSet[int],
+        degrees: Optional[Dict[int, int]] = None,
     ) -> Optional[Match]:
+        """Grow a match by ``remaining`` edges one at a time (Alg. 2 lines
+        13-18); ``None`` unless *all* of them can be added through motif
+        trie children.
+
+        ``degrees`` is threaded through the backtracking search (mutated
+        on descent, undone on a failed branch) instead of being rebuilt
+        from the edge set at every level; on success the final map is
+        handed to the :class:`Match` as-is — every frame up the success
+        path returns immediately, so nothing mutates it afterwards.
+        """
         if not remaining:
-            return Match(edges, node)
-        degrees = _edge_set_degrees(edges)
-        graph = self.window.graph
-        for e2 in sorted(remaining, key=repr):
-            u, v = e2
-            if u not in degrees and v not in degrees:
+            return Match(edges, node, degrees)
+        if node.node_id not in self.index.extensible_ids:
+            return None  # leaf motif: no edge can be added through the trie
+        if degrees is None:
+            degrees = dict(_edge_set_degrees(edges))
+        label_id = self.window.label_id
+        addition_key = self.index.scheme.addition_key
+        motif_children = self.index.motif_children_by_key
+        for e2 in sorted(remaining):  # packed keys: (min_id, max_id) order
+            u = e2 >> EDGE_SHIFT
+            v = e2 & EDGE_MASK
+            du = degrees.get(u, 0)
+            dv = degrees.get(v, 0)
+            if not du and not dv:
                 continue  # not incident yet; a different order may reach it
-            delta_key = self.index.scheme.addition_key(
-                graph.label(u),
-                graph.label(v),
-                degrees.get(u, 0),
-                degrees.get(v, 0),
+            children = motif_children(
+                node, addition_key(label_id(u), label_id(v), du, dv)
             )
-            for child in self.index.motif_children_by_key(node, delta_key):
-                result = self._grow(edges | {e2}, child, remaining - {e2})
+            if not children:
+                continue
+            degrees[u] = du + 1
+            degrees[v] = dv + 1
+            rest = remaining - {e2}
+            grown = edges | {e2}
+            for child in children:
+                result = self._grow(grown, child, rest, degrees)
                 if result is not None:
                     return result
+            if du:
+                degrees[u] = du
+            else:
+                del degrees[u]
+            if dv:
+                degrees[v] = dv
+            else:
+                del degrees[v]
         return None
 
     # ------------------------------------------------------------------
@@ -340,23 +441,50 @@ class StreamMatcher:
         Does not mutate: the caller allocates, then reports the assigned
         cluster through :meth:`remove_cluster`.
         """
-        event = self.window.oldest()
+        ekey, event = self.window.oldest_item()
         matches = sorted(
-            (m for m in self.matchlist.matches_containing_edge(event.edge)),
+            self.matchlist.matches_containing_edge(ekey),
             key=Match.sort_key,
         )
-        return Eviction(event, matches)
+        return Eviction(event=event, matches=matches, ekey=ekey)
 
-    def remove_cluster(self, edges: Set[Edge]) -> List[EdgeEvent]:
+    def remove_cluster(self, ekeys: Set[int]) -> List[EdgeEvent]:
         """Remove assigned edges from the window and drop every match that
         contains any of them (Sec. 4: those matches lost constituent edges)."""
-        self.matchlist.drop_edges(edges)
-        return self.window.remove_edges(edges)
+        self.matchlist.drop_edges(ekeys)
+        return self.window.remove_ekeys(ekeys)
+
+    # ------------------------------------------------------------------
+    # Boundary translation
+    # ------------------------------------------------------------------
+    def edge_key(self, u: Vertex, v: Vertex) -> Optional[int]:
+        """The packed key of the edge ``{u, v}``, or ``None`` if either
+        endpoint has never passed through this matcher."""
+        uid = self.interner.id_of(u)
+        vid = self.interner.id_of(v)
+        if uid is None or vid is None:
+            return None
+        return pack_edge(uid, vid)
+
+    def resolve_vertices(self, match: Match) -> Set[Vertex]:
+        """The vertex objects behind a match's interned ids."""
+        vertex = self.interner.vertex
+        return {vertex(vid) for vid in match.vertices}
+
+    def resolve_edges(self, match: Match) -> List[Tuple[Vertex, Vertex]]:
+        """The match's edges as vertex-object pairs (id order within pairs)."""
+        vertex = self.interner.vertex
+        return [
+            (vertex(ekey >> EDGE_SHIFT), vertex(ekey & EDGE_MASK))
+            for ekey in match.edges
+        ]
 
 
-def _edge_set_degrees(edges: Iterable[Edge]) -> Dict[Vertex, int]:
-    degrees: Dict[Vertex, int] = {}
-    for u, v in edges:
+def _edge_set_degrees(edges: Iterable[int]) -> Dict[int, int]:
+    degrees: Dict[int, int] = {}
+    for ekey in edges:
+        u = ekey >> EDGE_SHIFT
+        v = ekey & EDGE_MASK
         degrees[u] = degrees.get(u, 0) + 1
         degrees[v] = degrees.get(v, 0) + 1
     return degrees

@@ -63,6 +63,10 @@ class MotifIndex:
                 kept = [c for c in children if c.node_id in self._motif_ids]
                 if kept:
                     self._motif_children[(node.node_id, delta_key)] = kept
+        # Nodes with at least one motif child.  A match at a leaf motif can
+        # never extend or join — the matcher's inner loops gate on this set
+        # before doing any factor arithmetic.
+        self._extensible_ids = {nid for nid, _delta in self._motif_children}
 
     # ------------------------------------------------------------------
     # Lookups used by Alg. 2
@@ -95,6 +99,14 @@ class MotifIndex:
         """Key-based variant of :meth:`motif_children` for the matcher's hot
         path (pairs with :meth:`SignatureScheme.addition_key`)."""
         return self._motif_children.get((node.node_id, delta_key), [])
+
+    @property
+    def extensible_ids(self):
+        """The live set of node ids with at least one motif child — a
+        match at any other (leaf) motif can never grow by extension or
+        join, so the matcher's inner loops bind this set once and gate on
+        it.  Treat as read-only."""
+        return self._extensible_ids
 
     def support(self, node: TrieNode) -> float:
         return node.support

@@ -22,7 +22,7 @@ reports the delta against the old one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.loom import LoomPartitioner
 from repro.graph.labelled_graph import Vertex
@@ -34,25 +34,51 @@ from repro.query.workload import Workload
 
 @dataclass
 class RestreamResult:
-    """Outcome of one restreaming pass."""
+    """Outcome of one restreaming pass.
+
+    ``kept_vertices`` and ``moved_vertices`` count only vertices assigned
+    in *both* states; a vertex of the previous state that the new pass
+    never placed (e.g. the replayed stream no longer contains it) is a
+    ``dropped_vertices`` entry, not a "kept" one — counting it as kept
+    understated migration fractions.
+    """
 
     state: PartitionState
     moved_vertices: int
     kept_vertices: int
+    dropped_vertices: int = 0
 
     @property
     def migration_fraction(self) -> float:
+        """Fraction of co-assigned vertices that changed partition."""
         total = self.moved_vertices + self.kept_vertices
         return self.moved_vertices / total if total else 0.0
 
 
-def migration_volume(old: PartitionState, new: PartitionState) -> int:
-    """Number of vertices whose partition differs between two states."""
-    moved = 0
+def migration_stats(old: PartitionState, new: PartitionState) -> Tuple[int, int, int]:
+    """``(moved, kept, dropped)`` between two assignments.
+
+    ``moved``/``kept`` are counted over vertices assigned in both states;
+    ``dropped`` counts vertices assigned in ``old`` but absent from
+    ``new``.  Vertices first seen by ``new`` appear in none of the three.
+    """
+    moved = kept = dropped = 0
+    partition_of = new.partition_of
     for v, p in old.assignment().items():
-        if new.partition_of(v) not in (None, p):
+        q = partition_of(v)
+        if q is None:
+            dropped += 1
+        elif q == p:
+            kept += 1
+        else:
             moved += 1
-    return moved
+    return moved, kept, dropped
+
+
+def migration_volume(old: PartitionState, new: PartitionState) -> int:
+    """Number of vertices whose partition differs between two states
+    (co-assigned vertices only — the data a production system would ship)."""
+    return migration_stats(old, new)[0]
 
 
 class _StickyLoom(LoomPartitioner):
@@ -83,10 +109,14 @@ class _StickyLoom(LoomPartitioner):
         base_counts = self.allocator._overlap_counts
 
         def sticky_counts(match):
+            # Match vertices are interner ids (shared with the fresh
+            # state); the previous assignment is vertex-keyed, so resolve
+            # through the interner at this boundary only.
             counts = base_counts(match)
-            for v in match.vertices:
-                prev = self._previous.get(v)
-                if prev is not None and not self.state.is_assigned(v):
+            vertex = self.state.interner.vertex
+            for vid in match.vertices:
+                prev = self._previous.get(vertex(vid))
+                if prev is not None and not self.state.is_assigned_id(vid):
                     counts[prev] += self._stickiness
             return counts
 
@@ -95,7 +125,7 @@ class _StickyLoom(LoomPartitioner):
     def _ldg_place(self, v: Vertex, vid: int) -> None:
         if self.state.is_assigned_id(vid):
             return
-        if self.matcher.window.graph.has_vertex(v):
+        if self.matcher.window.has_vertex_id(vid):
             return
         prev = self._previous.get(v)
         if prev is not None and not self.state.is_full(prev):
@@ -141,9 +171,13 @@ def restream(
         **(loom_kwargs or {}),
     )
     loom.ingest_all(events)
-    moved = migration_volume(previous, state)
-    kept = previous.num_assigned - moved
-    return RestreamResult(state=state, moved_vertices=moved, kept_vertices=kept)
+    moved, kept, dropped = migration_stats(previous, state)
+    return RestreamResult(
+        state=state,
+        moved_vertices=moved,
+        kept_vertices=kept,
+        dropped_vertices=dropped,
+    )
 
 
 def restream_until_stable(
@@ -165,7 +199,12 @@ def restream_until_stable(
         raise ValueError("max_passes must be at least 1")
     current = initial
     best_ipt = executor.execute(current).weighted_ipt
-    result = RestreamResult(state=current, moved_vertices=0, kept_vertices=current.num_assigned)
+    result = RestreamResult(
+        state=current,
+        moved_vertices=0,
+        kept_vertices=current.num_assigned,
+        dropped_vertices=0,
+    )
     for _ in range(max_passes):
         candidate = restream(events, workload, current, **kwargs)
         ipt = executor.execute(candidate.state).weighted_ipt

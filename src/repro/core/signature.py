@@ -155,6 +155,11 @@ class SignatureScheme:
         self.seed = seed
         self._rng = random.Random(seed)
         self._values: Dict[str, int] = {}
+        # (label_u, label_v, deg_u, deg_v) -> sorted factor triple.  The
+        # matcher asks for the same handful of combinations once per
+        # (match, edge) pair; the arithmetic is pure given the label
+        # values, so cache it (cleared when with_values overrides them).
+        self._addition_keys: Dict[Tuple[str, str, int, int], Tuple[int, int, int]] = {}
         self._pool = list(range(1, p))
         self._rng.shuffle(self._pool)
         self._pool_next = 0
@@ -187,6 +192,7 @@ class SignatureScheme:
             if not 1 <= value:
                 raise ValueError(f"label value for {label!r} must be >= 1")
             self._values[label] = value
+        self._addition_keys.clear()
         return self
 
     # -- factors -----------------------------------------------------------
@@ -256,9 +262,14 @@ class SignatureScheme:
         """The sorted-tuple key of :meth:`addition_factors`.
 
         Equal to ``addition_factors(...).key`` but without building a
-        multiset — the stream matcher calls this once per (match, edge)
-        pair, so the allocation matters.
+        multiset, and memoised — the stream matcher calls this once per
+        (match, edge) pair over a small label × degree domain, so the
+        cache turns three field operations into one dict hit.
         """
+        key = (label_u, label_v, degree_u, degree_v)
+        got = self._addition_keys.get(key)
+        if got is not None:
+            return got
         a = self.edge_factor(label_u, label_v)
         b = self.degree_factor(label_u, degree_u + 1)
         c = self.degree_factor(label_v, degree_v + 1)
@@ -268,7 +279,9 @@ class SignatureScheme:
             b, c = c, b
             if a > b:
                 a, b = b, a
-        return (a, b, c)
+        got = (a, b, c)
+        self._addition_keys[key] = got
+        return got
 
     def single_edge_signature(self, label_u: str, label_v: str) -> FactorMultiset:
         """Signature of a lone edge (both endpoints at degree 1)."""

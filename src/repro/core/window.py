@@ -11,58 +11,133 @@ Edges that cannot match any single-edge motif never enter the window (they
 are placed immediately), so they do not displace older edges — exactly the
 behaviour described at the start of Sec. 4.
 
+The window runs entirely on interned integer ids: edges are keyed by
+packed id pairs (:func:`~repro.graph.interning.pack_edge`) and the window
+"graph" is an id-keyed adjacency plus an id → label map.  Vertex objects
+appear only inside the buffered :class:`~repro.graph.stream.EdgeEvent`\\ s
+(the allocator needs them back at the public boundary) and in
+:meth:`to_labelled_graph`, the materialised view used by snapshot queries
+and tests.  Nothing in here orders or hashes vertex *objects*, which is
+what makes the matcher's behaviour independent of ``PYTHONHASHSEED`` and
+of whether vertices define a value-based ``repr``.
+
 Cluster allocation can remove *multiple* edges at once (a motif match
 cluster leaves together), so removal by edge key is O(1): the FIFO is an
 insertion-ordered dict rather than a deque.
+
+A re-arrival of a buffered edge is ignored (it adds nothing to match),
+*unless* its labels contradict the buffered event — that is a corrupt
+stream, and it raises :class:`LabelConflictError` instead of being dropped
+silently.  The same check rejects an edge that relabels a vertex already
+held by the window, mirroring :class:`~repro.graph.labelled_graph.LabelledGraph`'s
+immutable-label rule.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.graph.labelled_graph import Edge, LabelledGraph
+from repro.graph.interning import VertexInterner, pack_edge, unpack_edge
+from repro.graph.labelled_graph import LabelledGraph, Vertex
 from repro.graph.stream import EdgeEvent
+
+
+class LabelConflictError(ValueError):
+    """An arriving edge's labels contradict what the window already holds."""
 
 
 class SlidingWindow:
     """A fixed-capacity FIFO of edge events plus their graph (``Ptemp``)."""
 
-    def __init__(self, capacity: int) -> None:
+    __slots__ = ("capacity", "interner", "_events", "_adj", "_labels")
+
+    def __init__(self, capacity: int, interner: Optional[VertexInterner] = None) -> None:
         if capacity < 1:
             raise ValueError("window capacity must be at least 1")
         self.capacity = capacity
-        self._events: Dict[Edge, EdgeEvent] = {}  # insertion-ordered
-        self._graph = LabelledGraph("Ptemp")
+        #: Vertex ↔ id bijection.  The matcher shares the partition state's
+        #: interner here so window ids agree with assignment-vector ids.
+        self.interner = interner if interner is not None else VertexInterner()
+        self._events: Dict[int, EdgeEvent] = {}  # ekey -> event, insertion-ordered
+        self._adj: Dict[int, Set[int]] = {}
+        self._labels: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def add(self, event: EdgeEvent) -> bool:
-        """Buffer ``event``; returns ``False`` for duplicate edges."""
-        e = event.edge
-        if e in self._events:
-            return False
-        self._events[e] = event
-        self._graph.add_edge(event.u, event.v, event.u_label, event.v_label)
-        return True
+    def add(self, event: EdgeEvent) -> Optional[int]:
+        """Buffer ``event``, interning its endpoints here.
 
-    def remove_edges(self, edges: Set[Edge]) -> List[EdgeEvent]:
-        """Remove ``edges`` (a match cluster) from the window.
+        Convenience wrapper over :meth:`add_ids` for callers without ids in
+        hand (tests, standalone matchers).  Returns the packed edge key if
+        the edge was newly buffered, ``None`` for an exact duplicate.
+        """
+        uid = self.interner.intern(event.u)
+        vid = self.interner.intern(event.v)
+        return self.add_ids(event, uid, vid, pack_edge(uid, vid))
+
+    def add_ids(self, event: EdgeEvent, uid: int, vid: int, ekey: int) -> Optional[int]:
+        """Buffer ``event`` under pre-interned ids (the matcher's fast path).
+
+        Returns ``ekey`` if newly buffered, ``None`` for a duplicate edge.
+        Raises ``ValueError`` for self-loops (the paper's model is simple
+        graphs, matching :class:`LabelledGraph`) and
+        :class:`LabelConflictError` when the event's labels disagree with
+        labels already held for either endpoint — including the
+        previously-silent case of a duplicate edge arriving relabelled.
+        """
+        if uid == vid:
+            raise ValueError(
+                f"self-loop on vertex {event.u!r} not permitted in a simple graph"
+            )
+        labels = self._labels
+        held_u = labels.get(uid)
+        held_v = labels.get(vid)
+        if (held_u is not None and held_u != event.u_label) or (
+            held_v is not None and held_v != event.v_label
+        ):
+            raise LabelConflictError(
+                f"edge {event.u!r}-{event.v!r} arrived with labels "
+                f"({event.u_label!r}, {event.v_label!r}) but the window holds "
+                f"({held_u!r}, {held_v!r}); labels are immutable while a "
+                "vertex is in Ptemp"
+            )
+        if ekey in self._events:
+            return None
+        self._events[ekey] = event
+        if held_u is None:
+            labels[uid] = event.u_label
+        if held_v is None:
+            labels[vid] = event.v_label
+        adj = self._adj
+        adj.setdefault(uid, set()).add(vid)
+        adj.setdefault(vid, set()).add(uid)
+        return ekey
+
+    def remove_ekeys(self, ekeys: Set[int]) -> List[EdgeEvent]:
+        """Remove edges (a match cluster) from the window by packed key.
 
         Vertices left isolated are dropped from the window graph — they have
         left ``Ptemp`` (their permanent placement is the allocator's job).
-        Returns the removed events; unknown edges are ignored.
+        Returns the removed events; unknown keys are ignored.
         """
         removed: List[EdgeEvent] = []
-        for e in edges:
-            event = self._events.pop(e, None)
+        adj = self._adj
+        labels = self._labels
+        for ekey in ekeys:
+            event = self._events.pop(ekey, None)
             if event is None:
                 continue
             removed.append(event)
-            self._graph.remove_edge(event.u, event.v)
-            for endpoint in (event.u, event.v):
-                if self._graph.has_vertex(endpoint) and self._graph.degree(endpoint) == 0:
-                    self._graph.remove_vertex(endpoint)
+            uid, vid = unpack_edge(ekey)
+            for a, b in ((uid, vid), (vid, uid)):
+                nbrs = adj.get(a)
+                if nbrs is None:
+                    continue
+                nbrs.discard(b)
+                if not nbrs:
+                    del adj[a]
+                    del labels[a]
         return removed
 
     # ------------------------------------------------------------------
@@ -74,33 +149,64 @@ class SlidingWindow:
             raise LookupError("window is empty")
         return next(iter(self._events.values()))
 
+    def oldest_item(self) -> Tuple[int, EdgeEvent]:
+        """``(ekey, event)`` of the eviction candidate (does not remove)."""
+        if not self._events:
+            raise LookupError("window is empty")
+        return next(iter(self._events.items()))
+
     def is_overflowing(self) -> bool:
         """True when the window holds more than ``capacity`` edges, i.e.
         the newest arrival must displace the oldest (Sec. 4)."""
         return len(self._events) > self.capacity
 
-    @property
-    def graph(self) -> LabelledGraph:
-        """The window contents as a graph.  Do not mutate directly."""
-        return self._graph
+    def has_vertex_id(self, vid: int) -> bool:
+        """O(1): does any window edge touch id ``vid``?"""
+        return vid in self._adj
 
-    def degree_in_window(self, vertex) -> int:
-        return self._graph.degree(vertex) if self._graph.has_vertex(vertex) else 0
+    def degree_id(self, vid: int) -> int:
+        nbrs = self._adj.get(vid)
+        return len(nbrs) if nbrs is not None else 0
+
+    def label_id(self, vid: int) -> str:
+        """The label of a window vertex; raises ``KeyError`` if absent."""
+        return self._labels[vid]
+
+    def degree_in_window(self, vertex: Vertex) -> int:
+        """Vertex-keyed :meth:`degree_id` for boundary callers."""
+        vid = self.interner.id_of(vertex)
+        return self.degree_id(vid) if vid is not None else 0
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
 
     def __len__(self) -> int:
         return len(self._events)
 
-    def __contains__(self, edge: Edge) -> bool:
-        return edge in self._events
+    def __contains__(self, ekey: int) -> bool:
+        return ekey in self._events
 
-    def edges(self) -> Iterator[Edge]:
+    def edges(self) -> Iterator[int]:
+        """All buffered packed edge keys, oldest first."""
         return iter(self._events)
 
     def events(self) -> Iterator[EdgeEvent]:
         return iter(self._events.values())
 
-    def event_for(self, edge: Edge) -> Optional[EdgeEvent]:
-        return self._events.get(edge)
+    def event_for(self, ekey: int) -> Optional[EdgeEvent]:
+        return self._events.get(ekey)
+
+    def to_labelled_graph(self, name: str = "Ptemp") -> LabelledGraph:
+        """Materialise the window contents as a :class:`LabelledGraph`.
+
+        O(window) per call — for snapshot queries, tests and debugging, not
+        for per-edge hot paths (those use the ``*_id`` lookups above).
+        """
+        g = LabelledGraph(name)
+        for event in self._events.values():
+            g.add_edge(event.u, event.v, event.u_label, event.v_label)
+        return g
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<SlidingWindow {len(self._events)}/{self.capacity} edges>"

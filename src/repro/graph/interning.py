@@ -20,9 +20,33 @@ stream, so interned runs are reproducible.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.graph.labelled_graph import Vertex
+
+EDGE_SHIFT = 32
+"""Bits reserved for the low endpoint in a packed edge key."""
+
+EDGE_MASK = (1 << EDGE_SHIFT) - 1
+
+
+def pack_edge(uid: int, vid: int) -> int:
+    """The canonical integer key of the undirected edge ``{uid, vid}``.
+
+    The smaller id occupies the high bits, so ``pack_edge(u, v) ==
+    pack_edge(v, u)`` and comparing packed keys orders edges by
+    ``(min_id, max_id)`` — a deterministic, hash-seed-independent order that
+    replaces the ``repr()``-string edge ordering of the object-keyed
+    matcher.  Ids are dense interner ids and fit comfortably in 32 bits.
+    """
+    if uid < vid:
+        return (uid << EDGE_SHIFT) | vid
+    return (vid << EDGE_SHIFT) | uid
+
+
+def unpack_edge(ekey: int) -> Tuple[int, int]:
+    """Invert :func:`pack_edge`: ``(smaller_id, larger_id)``."""
+    return ekey >> EDGE_SHIFT, ekey & EDGE_MASK
 
 
 class VertexInterner:

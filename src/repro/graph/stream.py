@@ -63,13 +63,27 @@ def _event(graph: LabelledGraph, u: Vertex, v: Vertex) -> EdgeEvent:
     return EdgeEvent(u, graph.label(u), v, graph.label(v))
 
 
+def _insertion_index(graph: LabelledGraph) -> dict:
+    """Vertex → first-insertion rank, the canonical pre-shuffle order.
+
+    Every ordering below canonicalises hash-ordered collections (neighbour
+    sets, edge iterators) before the seeded shuffle.  Sorting by this
+    integer rank — instead of the historical ``repr()`` strings — makes the
+    canonical order independent of ``PYTHONHASHSEED`` *and* of whether
+    vertices define a value-based ``__repr__``; default object reprs embed
+    memory addresses, which silently reordered streams between runs.
+    """
+    return {v: i for i, v in enumerate(graph.vertices())}
+
+
 def _ordered_roots(graph: LabelledGraph, rng: random.Random) -> List[Vertex]:
     """Deterministic component roots: one shuffled list of all vertices.
 
     The search starts a new traversal from the next unvisited vertex, which
-    covers every connected component exactly once.
+    covers every connected component exactly once.  Vertices enumerate in
+    insertion order (deterministic), so the shuffle is reproducible.
     """
-    roots = sorted(graph.vertices(), key=repr)
+    roots = list(graph.vertices())
     rng.shuffle(roots)
     return roots
 
@@ -83,6 +97,8 @@ def bfs_stream(graph: LabelledGraph, seed: int = 0) -> Iterator[EdgeEvent]:
     friendly to streaming partitioners (Sec. 5.3).
     """
     rng = random.Random(seed)
+    index = _insertion_index(graph)
+    rank = index.__getitem__
     emitted = set()
     visited = set()
     for root in _ordered_roots(graph, rng):
@@ -94,7 +110,7 @@ def bfs_stream(graph: LabelledGraph, seed: int = 0) -> Iterator[EdgeEvent]:
         while head < len(queue):
             u = queue[head]
             head += 1
-            nbrs = sorted(graph.neighbors(u), key=repr)
+            nbrs = sorted(graph.neighbors(u), key=rank)
             rng.shuffle(nbrs)
             for v in nbrs:
                 e = normalize_edge(u, v)
@@ -109,6 +125,8 @@ def bfs_stream(graph: LabelledGraph, seed: int = 0) -> Iterator[EdgeEvent]:
 def dfs_stream(graph: LabelledGraph, seed: int = 0) -> Iterator[EdgeEvent]:
     """Emit every edge once, in (iterative) depth-first discovery order."""
     rng = random.Random(seed)
+    index = _insertion_index(graph)
+    rank = index.__getitem__
     emitted = set()
     visited = set()
     for root in _ordered_roots(graph, rng):
@@ -118,7 +136,7 @@ def dfs_stream(graph: LabelledGraph, seed: int = 0) -> Iterator[EdgeEvent]:
         stack: List[Vertex] = [root]
         while stack:
             u = stack.pop()
-            nbrs = sorted(graph.neighbors(u), key=repr)
+            nbrs = sorted(graph.neighbors(u), key=rank)
             rng.shuffle(nbrs)
             for v in nbrs:
                 e = normalize_edge(u, v)
@@ -131,11 +149,23 @@ def dfs_stream(graph: LabelledGraph, seed: int = 0) -> Iterator[EdgeEvent]:
 
 
 def random_stream(graph: LabelledGraph, seed: int = 0) -> Iterator[EdgeEvent]:
-    """Emit every edge once, in a seeded random permutation."""
+    """Emit every edge once, in a seeded random permutation.
+
+    Edges are canonicalised to (lower insertion rank, higher insertion
+    rank) orientation before the shuffle, so both the permutation and the
+    emitted endpoint order are reproducible for any vertex type.
+    """
     rng = random.Random(seed)
-    edges = sorted(graph.edges(), key=repr)
+    index = _insertion_index(graph)
+    edges: List[tuple] = []
+    for u in graph.vertices():
+        iu = index[u]
+        for v in graph.neighbors(u):
+            if iu < index[v]:
+                edges.append((iu, index[v], u, v))
+    edges.sort(key=lambda e: (e[0], e[1]))
     rng.shuffle(edges)
-    for u, v in edges:
+    for _, _, u, v in edges:
         yield _event(graph, u, v)
 
 
@@ -166,6 +196,8 @@ def stream_to_graph(events: Iterable[EdgeEvent], name: str = "") -> LabelledGrap
 
 def stream_prefix(events: Iterable[EdgeEvent], n: int) -> List[EdgeEvent]:
     """The first ``n`` events of a stream, as a list (used by Table 2)."""
+    if n <= 0:
+        return []
     out: List[EdgeEvent] = []
     for ev in events:
         out.append(ev)

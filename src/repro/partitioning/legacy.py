@@ -12,6 +12,17 @@ implementations **verbatim** for two purposes:
 
 Do not "improve" this module: its value is that it does not change.  It is
 deliberately not exported from :mod:`repro.partitioning`.
+
+One caveat keeps it honest rather than literal: the stream matcher was
+*never* frozen here — the seed's parity design shares the live
+:class:`~repro.core.matching.StreamMatcher` between both stacks so the
+comparison isolates exactly the placement layer (state + LDG + auction).
+When the matcher moved to interned ids, the thin glue in
+:class:`LegacyLoomPartitioner` had to follow (ids are translated back to
+vertex objects at the auction boundary via :class:`_VertexMatchView`); the
+*decision* code — ``DictPartitionState``, ``legacy_ldg_choose``,
+``LegacyEqualOpportunism`` — is untouched and still operates on vertex
+objects exactly as the seed did.
 """
 
 from __future__ import annotations
@@ -19,7 +30,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
 
-from repro.graph.labelled_graph import Edge, Vertex
+from repro.graph.labelled_graph import Edge, Vertex, normalize_edge
 from repro.graph.stream import EdgeEvent
 from repro.partitioning.base import StreamingPartitioner
 from repro.partitioning.fennel import FENNEL_GAMMA, fennel_alpha
@@ -235,6 +246,7 @@ class LegacyEqualOpportunism:
         rationing_enabled: bool = True,
         support_weighting: bool = True,
         neighbor_fn: Optional[Callable[[Vertex], Iterable[Vertex]]] = None,
+        vertex_order: Optional[Callable[[Vertex], object]] = None,
     ) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ValueError("alpha must lie in (0, 1]")
@@ -246,6 +258,14 @@ class LegacyEqualOpportunism:
         self.rationing_enabled = rationing_enabled
         self.support_weighting = support_weighting
         self.neighbor_fn = neighbor_fn
+        # The seed assigned winning-cluster vertices in repr() order — an
+        # ordering that only matters when the winner fills mid-cluster and
+        # the tail spills, and which is precisely the "allocate's vertex
+        # order" instance of the repr-nondeterminism bug the id refactor
+        # fixed.  The default stays repr (seed semantics); the legacy Loom
+        # glue passes interner order so spill tie-breaks match the live
+        # stack bit for bit.
+        self.vertex_order = vertex_order if vertex_order is not None else repr
 
     def ration(self, partition: int) -> float:
         if not self.rationing_enabled:
@@ -316,7 +336,7 @@ class LegacyEqualOpportunism:
         for m in assigned:
             edges |= m.edges
             vertices |= m.vertices
-        for v in sorted(vertices, key=repr):
+        for v in sorted(vertices, key=self.vertex_order):
             if self.state.is_assigned(v):
                 continue
             if self.state.is_full(winner):
@@ -344,13 +364,39 @@ class LegacyEqualOpportunism:
         return best
 
 
+class _VertexMatchView:
+    """A vertex-object view of an id-based match, for the frozen auction.
+
+    :class:`LegacyEqualOpportunism` reads ``vertices`` (objects), ``edges``
+    (object pairs) and ``support`` — exactly the seed's :class:`Match`
+    surface.  ``ekeys`` keeps the packed keys so the glue can hand the
+    winning cluster back to the id-based window for removal.
+    """
+
+    __slots__ = ("vertices", "edges", "ekeys", "_node")
+
+    def __init__(self, match, matcher) -> None:
+        self._node = match.node
+        self.ekeys = match.edges
+        self.vertices = frozenset(matcher.resolve_vertices(match))
+        self.edges = frozenset(
+            normalize_edge(u, v) for u, v in matcher.resolve_edges(match)
+        )
+
+    @property
+    def support(self) -> float:
+        return self._node.support
+
+
 class LegacyLoomPartitioner(StreamingPartitioner):
     """The seed's Loom: dict adjacency + dict state + legacy auction.
 
     Workload analysis (trie, motif index, stream matcher) is shared with the
-    live implementation — the refactor did not touch it — so parity between
+    live implementation — the parity design of the seed — so parity between
     this class and :class:`repro.core.loom.LoomPartitioner` isolates exactly
-    the state/placement rewrite.
+    the state/placement rewrite.  The matcher now speaks interned ids, so
+    this glue resolves them back to vertex objects at the auction boundary;
+    the placement decisions themselves are the seed's, verbatim.
     """
 
     name = "loom"
@@ -374,6 +420,7 @@ class LegacyLoomPartitioner(StreamingPartitioner):
         from repro.core.motifs import MotifIndex
         from repro.core.signature import DEFAULT_PRIME, SignatureScheme
         from repro.core.tpstry import TPSTry
+        from repro.graph.interning import VertexInterner
 
         super().__init__(state)  # type: ignore[arg-type]
         self.workload = workload
@@ -382,8 +429,16 @@ class LegacyLoomPartitioner(StreamingPartitioner):
         )
         self.trie = TPSTry.from_workload(workload, self.scheme)
         self.index = MotifIndex(self.trie, support_threshold)
+        # The shared matcher is id-based; intern in _record (every event,
+        # both endpoints, arrival order) exactly like the live Loom does
+        # through its state, so both matchers see identical ids and make
+        # identical integer tie-breaks.
+        self._interner = VertexInterner()
         self.matcher = StreamMatcher(
-            self.index, window_size, max_matches_per_vertex=max_matches_per_vertex
+            self.index,
+            window_size,
+            max_matches_per_vertex=max_matches_per_vertex,
+            interner=self._interner,
         )
         self._adj: Dict[Vertex, Set[Vertex]] = {}
         self.allocator = LegacyEqualOpportunism(
@@ -393,6 +448,10 @@ class LegacyLoomPartitioner(StreamingPartitioner):
             rationing_enabled=rationing_enabled,
             support_weighting=support_weighting,
             neighbor_fn=(lambda v: self._adj.get(v, ())) if neighbor_aware_bids else None,
+            # Spill tie-breaks in interner order, matching the live
+            # allocator's sorted-id assignment loop exactly (see
+            # LegacyEqualOpportunism.__init__).
+            vertex_order=self._interner.id_of,
         )
 
     def ingest(self, event: EdgeEvent) -> None:
@@ -409,13 +468,16 @@ class LegacyLoomPartitioner(StreamingPartitioner):
             self._evict_once()
 
     def _record(self, u: Vertex, v: Vertex) -> None:
+        self._interner.intern(u)
+        self._interner.intern(v)
         self._adj.setdefault(u, set()).add(v)
         self._adj.setdefault(v, set()).add(u)
 
     def _ldg_place(self, v: Vertex) -> None:
         if self.state.is_assigned(v):
             return
-        if self.matcher.window.graph.has_vertex(v):
+        vid = self.matcher.interner.id_of(v)
+        if vid is not None and self.matcher.window.has_vertex_id(vid):
             return
         self.state.assign(v, legacy_ldg_choose(self.state, self._adj.get(v, ())))
 
@@ -429,12 +491,16 @@ class LegacyLoomPartitioner(StreamingPartitioner):
     def _evict_once(self) -> None:
         eviction = self.matcher.next_eviction()
         if eviction.matches:
+            views = [_VertexMatchView(m, self.matcher) for m in eviction.matches]
             decision = self.allocator.allocate(
-                eviction.matches, fallback_chooser=self._ldg_cluster_choice
+                views, fallback_chooser=self._ldg_cluster_choice
             )
-            self.matcher.remove_cluster(decision.assigned_edges)
+            ekeys = set()
+            for view in decision.assigned_matches:
+                ekeys |= view.ekeys
+            self.matcher.remove_cluster(ekeys)
         else:
             for v in (eviction.event.u, eviction.event.v):
                 if not self.state.is_assigned(v):
                     self.state.assign(v, legacy_ldg_choose(self.state, self._adj.get(v, ())))
-            self.matcher.remove_cluster({eviction.event.edge})
+            self.matcher.remove_cluster({eviction.ekey})

@@ -122,10 +122,20 @@ class PartitionState:
         self.assign_id(self.intern(v), partition)
 
     def assign_id(self, vid: int, partition: int) -> None:
-        """Id-keyed :meth:`assign`; ``vid`` must come from :meth:`intern`."""
+        """Id-keyed :meth:`assign`; ``vid`` must be an id of the interner.
+
+        Ids minted through the shared :attr:`interner` directly (e.g. by a
+        matcher built with ``interner=state.interner``) may outrun the
+        assignment vector, which :meth:`intern` grows; grow it here too so
+        every interner id is assignable.  Unknown ids still raise.
+        """
         if not 0 <= partition < self.k:
             raise IndexError(f"partition {partition} out of range [0, {self.k})")
         assignment = self._assignment
+        if vid >= len(assignment):
+            if not 0 <= vid < len(self.interner):
+                raise IndexError(f"vertex id {vid} was never interned")
+            assignment.extend([UNASSIGNED] * (vid + 1 - len(assignment)))
         current = assignment[vid]
         if current != UNASSIGNED:
             if current != partition:

@@ -85,13 +85,16 @@ def snapshot_report(
     that are neither placed nor in the window cannot occur in it, so every
     traversal resolves.
     """
-    view = _SnapshotView(loom.state, loom.matcher.window.graph)
+    # The id-based window has no live vertex-object graph; materialise one
+    # snapshot copy (O(window), once per report — snapshots are periodic).
+    window_graph = loom.matcher.window.to_labelled_graph()
+    view = _SnapshotView(loom.state, window_graph)
     executor = WorkloadExecutor(streamed_graph, workload, embedding_limit=embedding_limit)
     report = executor.execute(view, "loom+ptemp")
     return OnlineSnapshot(
         edges_seen=streamed_graph.num_edges,
         vertices_placed=loom.state.num_assigned,
-        vertices_in_window=loom.matcher.window.graph.num_vertices,
+        vertices_in_window=window_graph.num_vertices,
         report=report,
     )
 

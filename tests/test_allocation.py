@@ -1,10 +1,15 @@
-"""Tests for equal-opportunism allocation (Sec. 4, Eqs. 1-3)."""
+"""Tests for equal-opportunism allocation (Sec. 4, Eqs. 1-3).
+
+The auction consumes id-based matches; tests intern vertices through the
+state under test so match ids index its assignment vector, exactly as the
+matcher-sharing Loom pipeline does.
+"""
 
 import pytest
 
-from repro.core.allocation import AllocationDecision, EqualOpportunism
+from repro.core.allocation import EqualOpportunism
 from repro.core.matching import Match
-from repro.graph.labelled_graph import normalize_edge
+from repro.graph.interning import pack_edge
 from repro.partitioning.state import PartitionState
 
 
@@ -20,8 +25,16 @@ def abc_node(fig1_trie):
     return fig1_trie.node_for_graph(path_pattern(["a", "b", "c"]))
 
 
-def single_match(node, u=1, v=2) -> Match:
-    return Match(frozenset([normalize_edge(u, v)]), node)
+def id_match(state: PartitionState, node, *pairs) -> Match:
+    """A match over ``pairs`` of vertex objects, interned into ``state``."""
+    return Match(
+        frozenset(pack_edge(state.intern(u), state.intern(v)) for u, v in pairs),
+        node,
+    )
+
+
+def single_match(state, node, u=1, v=2) -> Match:
+    return id_match(state, node, (u, v))
 
 
 class TestRation:
@@ -70,19 +83,19 @@ class TestBid:
         state = PartitionState(2, 10)
         state.assign(1, 0)
         eo = EqualOpportunism(state)
-        match = single_match(ab_node)  # vertices {1, 2}, support 1.0
+        match = single_match(state, ab_node)  # vertices {1, 2}, support 1.0
         expected = 1 * (1 - 1 / 10) * 1.0
         assert eo.bid(0, match) == pytest.approx(expected)
 
     def test_bid_zero_without_overlap(self, ab_node):
         state = PartitionState(2, 10)
         eo = EqualOpportunism(state)
-        assert eo.bid(0, single_match(ab_node)) == 0.0
+        assert eo.bid(0, single_match(state, ab_node)) == 0.0
 
     def test_support_weighting_off(self, abc_node):
         state = PartitionState(2, 10)
         state.assign(1, 0)
-        match = Match(frozenset([normalize_edge(1, 2), normalize_edge(2, 3)]), abc_node)
+        match = id_match(state, abc_node, (1, 2), (2, 3))
         on = EqualOpportunism(state, support_weighting=True).bid(0, match)
         off = EqualOpportunism(state, support_weighting=False).bid(0, match)
         assert on == pytest.approx(off * abc_node.support)
@@ -92,7 +105,18 @@ class TestBid:
         state.assign(99, 0)  # a neighbour of vertex 1, already placed
         adj = {1: {99}, 2: set()}
         eo = EqualOpportunism(state, neighbor_fn=lambda v: adj.get(v, ()))
-        match = single_match(ab_node)
+        match = single_match(state, ab_node)
+        assert eo.bid(0, match) > 0.0
+
+    def test_neighbor_ids_fn_counts_adjacency(self, ab_node):
+        """The id-keyed twin of the neighbour-aware bid (Loom's path)."""
+        state = PartitionState(2, 10)
+        state.assign(99, 0)
+        nid = state.interner.id_of(99)
+        match = single_match(state, ab_node)
+        uid = state.interner.id_of(1)
+        adj = {uid: {nid}}
+        eo = EqualOpportunism(state, neighbor_ids_fn=lambda vid: adj.get(vid, ()))
         assert eo.bid(0, match) > 0.0
 
 
@@ -101,8 +125,8 @@ class TestAllocate:
         state = PartitionState(2, 100)
         state.assign(2, 0)  # vertex 2 already in partition 0
         eo = EqualOpportunism(state)
-        m1 = single_match(ab_node, 1, 2)
-        m2 = Match(frozenset([normalize_edge(1, 2), normalize_edge(2, 3)]), abc_node)
+        m1 = single_match(state, ab_node, 1, 2)
+        m2 = id_match(state, abc_node, (1, 2), (2, 3))
         decision = eo.allocate([m1, m2])
         assert decision.winner == 0
         assert not decision.fallback
@@ -112,29 +136,47 @@ class TestAllocate:
     def test_all_vertices_of_prefix_assigned(self, ab_node):
         state = PartitionState(2, 100)
         eo = EqualOpportunism(state)
-        decision = eo.allocate([single_match(ab_node, 5, 6)])
-        assert decision.assigned_vertices == {5, 6}
+        decision = eo.allocate([single_match(state, ab_node, 5, 6)])
+        assert decision.assigned_vertices == {
+            state.interner.id_of(5),
+            state.interner.id_of(6),
+        }
         assert state.partition_of(5) == state.partition_of(6)
 
     def test_fallback_when_no_overlap(self, ab_node):
         state = PartitionState(2, 100)
         eo = EqualOpportunism(state)
-        decision = eo.allocate([single_match(ab_node)])
+        decision = eo.allocate([single_match(state, ab_node)])
         assert decision.fallback
 
     def test_fallback_chooser_used(self, ab_node):
         state = PartitionState(4, 100)
         eo = EqualOpportunism(state)
-        decision = eo.allocate([single_match(ab_node)], fallback_chooser=lambda vs: 3)
+        decision = eo.allocate(
+            [single_match(state, ab_node)], fallback_chooser=lambda ids: 3
+        )
         assert decision.winner == 3
         assert state.partition_of(1) == 3
+
+    def test_fallback_chooser_receives_cluster_ids(self, ab_node):
+        state = PartitionState(4, 100)
+        eo = EqualOpportunism(state)
+        seen = {}
+
+        def chooser(ids):
+            seen["ids"] = set(ids)
+            return 0
+
+        decision = eo.allocate([single_match(state, ab_node)], fallback_chooser=chooser)
+        assert seen["ids"] == {state.interner.id_of(1), state.interner.id_of(2)}
+        assert decision.winner == 0
 
     def test_fallback_prefers_least_loaded(self, ab_node):
         state = PartitionState(2, 100)
         state.assign(("pad", 0), 0)
         state.assign(("pad", 1), 0)
         eo = EqualOpportunism(state)
-        decision = eo.allocate([single_match(ab_node)])
+        decision = eo.allocate([single_match(state, ab_node)])
         assert decision.winner == 1
 
     def test_empty_cluster_rejected(self, ab_node):
@@ -149,7 +191,7 @@ class TestAllocate:
         state.assign(("pad", 1), 0)
         state.assign(("pad", 2), 1)
         eo = EqualOpportunism(state)
-        decision = eo.allocate([single_match(ab_node)])
+        decision = eo.allocate([single_match(state, ab_node)])
         assert len(decision.assigned_matches) == 1
 
     def test_rationed_winner_takes_prefix_only(self, ab_node, abc_node):
@@ -161,10 +203,10 @@ class TestAllocate:
             state.assign(("s2", v), 1)
         state.assign(2, 0)  # overlap pulls toward partition 0 (the larger)
         eo = EqualOpportunism(state)
-        m1 = single_match(ab_node, 1, 2)
-        m2 = Match(frozenset([normalize_edge(1, 2), normalize_edge(2, 3)]), abc_node)
-        m3 = Match(frozenset([normalize_edge(1, 2), normalize_edge(2, 4)]), abc_node)
-        m4 = Match(frozenset([normalize_edge(1, 2), normalize_edge(2, 5)]), abc_node)
+        m1 = single_match(state, ab_node, 1, 2)
+        m2 = id_match(state, abc_node, (1, 2), (2, 3))
+        m3 = id_match(state, abc_node, (1, 2), (2, 4))
+        m4 = id_match(state, abc_node, (1, 2), (2, 5))
         decision = eo.allocate([m1, m2, m3, m4])
         assert decision.winner == 0
         # l(S0) = 0.5 => ceil(0.5 * 4) = 2 matches taken, not all 4.
@@ -175,5 +217,5 @@ class TestAllocate:
         state = PartitionState(2, 100)
         state.assign(("pad", 0), 0)  # partition 0 bigger, no overlap anywhere
         eo = EqualOpportunism(state)
-        decision = eo.allocate([single_match(ab_node)])
+        decision = eo.allocate([single_match(state, ab_node)])
         assert decision.winner == 1

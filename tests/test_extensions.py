@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.restream import (
     RestreamResult,
+    migration_stats,
     migration_volume,
     restream,
     restream_until_stable,
@@ -44,15 +45,53 @@ class TestMigrationVolume:
         # 2 unassigned in b: not counted as a move
         assert migration_volume(a, b) == 1
 
+    def test_migration_stats_separates_dropped(self):
+        """A vertex absent from the new state is *dropped*, not kept —
+        counting it as kept understated the migration fraction."""
+        a = PartitionState(2, 10)
+        a.assign(1, 0)  # kept
+        a.assign(2, 1)  # moved
+        a.assign(3, 0)  # dropped (never re-placed)
+        b = PartitionState(2, 10)
+        b.assign(1, 0)
+        b.assign(2, 0)
+        b.assign(4, 1)  # new vertex: in none of the three counters
+        assert migration_stats(a, b) == (1, 1, 1)
+
+    def test_migration_fraction_over_coassigned_only(self):
+        result = RestreamResult(
+            state=PartitionState(2, 10),
+            moved_vertices=1,
+            kept_vertices=1,
+            dropped_vertices=8,
+        )
+        assert result.migration_fraction == 0.5
+
 
 class TestRestream:
     def test_result_accounting(self, drift_setup):
         dataset, events, state = drift_setup
         result = restream(events, dataset.workload, state, window_size=120)
         assert isinstance(result, RestreamResult)
-        assert result.moved_vertices + result.kept_vertices == state.num_assigned
+        assert (
+            result.moved_vertices + result.kept_vertices + result.dropped_vertices
+            == state.num_assigned
+        )
+        # Replaying the same stream re-places every previous vertex.
+        assert result.dropped_vertices == 0
         assert 0.0 <= result.migration_fraction <= 1.0
         assert result.state.num_assigned == dataset.graph.num_vertices
+
+    def test_dropped_vertices_on_shrunken_stream(self, drift_setup):
+        """Restreaming a prefix of the original stream leaves the tail's
+        vertices unplaced; they must surface as dropped, not as kept."""
+        dataset, events, state = drift_setup
+        result = restream(events[: len(events) // 2], dataset.workload, state, window_size=120)
+        assert result.dropped_vertices > 0
+        assert (
+            result.moved_vertices + result.kept_vertices + result.dropped_vertices
+            == state.num_assigned
+        )
 
     def test_stickiness_caps_migration(self, drift_setup):
         """Higher stickiness must not increase migration volume."""

@@ -1,11 +1,16 @@
-"""Tests for stream motif matching (Sec. 3, Alg. 2), anchored on Fig. 5."""
+"""Tests for stream motif matching (Sec. 3, Alg. 2), anchored on Fig. 5.
+
+The matcher runs on interned ids; tests translate through
+:meth:`StreamMatcher.edge_key` / ``resolve_*`` at the boundary.
+"""
 
 import pytest
 
 from repro.core.matching import Match, MatchList, StreamMatcher
 from repro.core.motifs import MotifIndex
 from repro.core.tpstry import TPSTry
-from repro.graph.labelled_graph import normalize_edge
+from repro.core.window import LabelConflictError
+from repro.graph.interning import pack_edge
 from repro.graph.stream import EdgeEvent
 
 
@@ -14,11 +19,21 @@ def build_matcher(workload, window=100, **kwargs) -> StreamMatcher:
     return StreamMatcher(MotifIndex(trie, 0.4), window, **kwargs)
 
 
+def ek(matcher: StreamMatcher, u, v) -> int:
+    """The packed key of the edge {u, v} as this matcher interned it."""
+    key = matcher.edge_key(u, v)
+    assert key is not None, f"edge {u}-{v} never seen by matcher"
+    return key
+
+
 def match_shapes(matcher: StreamMatcher, vertex):
     """The {(edge-set, motif-label-multiset)} view of matchList[vertex]."""
+    vid = matcher.interner.id_of(vertex)
+    if vid is None:
+        return set()
     return {
         (m.edges, tuple(sorted(m.node.exemplar.labels().values())))
-        for m in matcher.matchlist.matches_at(vertex)
+        for m in matcher.matchlist.matches_at(vid)
     }
 
 
@@ -34,8 +49,9 @@ class TestFigure5Scenario:
     def test_single_edge_matches(self, fig5_workload):
         m = build_matcher(fig5_workload)
         assert m.offer(E1)
-        assert match_shapes(m, 1) == {(frozenset([E1.edge]), ("a", "b"))}
-        assert match_shapes(m, 2) == {(frozenset([E1.edge]), ("a", "b"))}
+        e1 = ek(m, 1, 2)
+        assert match_shapes(m, 1) == {(frozenset([e1]), ("a", "b"))}
+        assert match_shapes(m, 2) == {(frozenset([e1]), ("a", "b"))}
 
     def test_extension_creates_abc_match(self, fig5_workload):
         """Adding e3 to e2 forms the a-b-c match (the paper's walkthrough)."""
@@ -43,7 +59,7 @@ class TestFigure5Scenario:
         m.offer(E1)
         m.offer(E2)
         m.offer(E3)
-        expected = (frozenset([E2.edge, E3.edge]), ("a", "b", "c"))
+        expected = (frozenset([ek(m, 3, 4), ek(m, 4, 5)]), ("a", "b", "c"))
         assert expected in match_shapes(m, 3)
         assert expected in match_shapes(m, 4)
         assert expected in match_shapes(m, 5)
@@ -52,7 +68,7 @@ class TestFigure5Scenario:
         m = build_matcher(fig5_workload)
         for e in (E1, E2, E3, E4):
             m.offer(e)
-        expected = (frozenset([E1.edge, E4.edge]), ("a", "b", "c"))
+        expected = (frozenset([ek(m, 1, 2), ek(m, 2, 5)]), ("a", "b", "c"))
         assert expected in match_shapes(m, 1)
         assert expected in match_shapes(m, 5)
 
@@ -62,10 +78,11 @@ class TestFigure5Scenario:
         m = build_matcher(fig5_workload)
         for e in (E1, E2, E3, E4, E5):
             m.offer(e)
+        e1, e2, e5 = ek(m, 1, 2), ek(m, 3, 4), ek(m, 2, 3)
         shapes2 = match_shapes(m, 2)
-        assert (frozenset([E1.edge, E5.edge]), ("a", "a", "b")) in shapes2
-        assert (frozenset([E2.edge, E5.edge]), ("a", "b", "b")) in shapes2
-        abab = (frozenset([E1.edge, E2.edge, E5.edge]), ("a", "a", "b", "b"))
+        assert (frozenset([e1, e5]), ("a", "a", "b")) in shapes2
+        assert (frozenset([e2, e5]), ("a", "b", "b")) in shapes2
+        abab = (frozenset([e1, e2, e5]), ("a", "a", "b", "b"))
         for vertex in (1, 2, 3, 4):
             assert abab in match_shapes(m, vertex)
         assert m.stats["pair_joins"] >= 1
@@ -76,12 +93,13 @@ class TestFigure5Scenario:
             m.offer(e)
         eviction = m.next_eviction()
         assert eviction.event is E1
+        assert eviction.ekey == ek(m, 1, 2)
         # Every match in Me contains the evicted edge.
-        assert all(E1.edge in match.edges for match in eviction.matches)
+        assert all(eviction.ekey in match.edges for match in eviction.matches)
         # Sorted by support, descending; the single-edge match leads.
         supports = [match.support for match in eviction.matches]
         assert supports == sorted(supports, reverse=True)
-        assert eviction.matches[0].edges == frozenset([E1.edge])
+        assert eviction.matches[0].edges == frozenset([eviction.ekey])
 
 
 class TestGate:
@@ -100,24 +118,36 @@ class TestGate:
         assert m.offer(EdgeEvent(1, "a", 2, "b"))
         assert m.pending() == 1
 
+    def test_relabelled_duplicate_raises_and_is_counted(self, fig5_workload):
+        """The window flags a duplicate edge whose labels contradict the
+        buffered event (previously dropped without trace)."""
+        m = build_matcher(fig5_workload)
+        m.offer(EdgeEvent(1, "a", 2, "b"))
+        with pytest.raises(LabelConflictError):
+            m.offer(EdgeEvent(1, "b", 2, "a"))
+        assert m.stats["label_conflicts"] == 1
+        assert m.pending() == 1
+
 
 class TestClusterRemoval:
     def test_remove_cluster_drops_touching_matches(self, fig5_workload):
         m = build_matcher(fig5_workload)
         for e in (E1, E2, E3, E4, E5):
             m.offer(e)
-        m.remove_cluster({E1.edge})
+        e1 = ek(m, 1, 2)
+        m.remove_cluster({e1})
         for vertex in (1, 2, 3, 4, 5):
-            for match in m.matchlist.matches_at(vertex):
-                assert E1.edge not in match.edges
+            vid = m.interner.id_of(vertex)
+            for match in m.matchlist.matches_at(vid):
+                assert e1 not in match.edges
         # e5's own single-edge match must survive.
-        assert (frozenset([E5.edge]), ("a", "b")) in match_shapes(m, 2)
+        assert (frozenset([ek(m, 2, 3)]), ("a", "b")) in match_shapes(m, 2)
 
     def test_window_and_matchlist_stay_consistent(self, fig5_workload):
         m = build_matcher(fig5_workload)
         for e in (E1, E2, E3, E4, E5):
             m.offer(e)
-        m.remove_cluster({E1.edge, E2.edge})
+        m.remove_cluster({ek(m, 1, 2), ek(m, 3, 4)})
         window_edges = set(m.window.edges())
         for match in m.matchlist.all_matches():
             assert match.edges <= window_edges
@@ -133,8 +163,9 @@ class TestMatchInvariants:
         m = build_matcher(fig5_workload)
         for e in (E1, E2, E3, E4, E5):
             m.offer(e)
+        window_graph = m.window.to_labelled_graph()
         for match in m.matchlist.all_matches():
-            sub = m.window.graph.edge_subgraph(match.edges)
+            sub = window_graph.edge_subgraph(m.resolve_edges(match))
             assert sub.is_connected()
             assert nx.is_isomorphic(
                 sub.to_networkx(),
@@ -149,7 +180,8 @@ class TestMatchInvariants:
         # The mandatory single-edge matches always register; everything
         # beyond the cap is suppressed.
         for v in (1, 2, 3, 4, 5):
-            multi = [x for x in m.matchlist.matches_at(v) if x.num_edges > 1]
+            vid = m.interner.id_of(v)
+            multi = [x for x in m.matchlist.matches_at(vid) if x.num_edges > 1]
             assert not multi
         assert m.stats["capped_registrations"] > 0
 
@@ -161,21 +193,30 @@ class TestMatchInvariants:
 class TestMatchAndMatchList:
     def test_match_equality_and_hash(self, fig1_index):
         node = fig1_index.single_edge_motif("a", "b")
-        e = normalize_edge(1, 2)
+        e = pack_edge(1, 2)
         assert Match(frozenset([e]), node) == Match(frozenset([e]), node)
         assert len({Match(frozenset([e]), node), Match(frozenset([e]), node)}) == 1
 
     def test_match_degree_of(self, fig1_index):
         node = fig1_index.single_edge_motif("a", "b")
-        match = Match(frozenset([normalize_edge(1, 2), normalize_edge(2, 3)]), node)
+        match = Match(frozenset([pack_edge(1, 2), pack_edge(2, 3)]), node)
         assert match.degree_of(2) == 2
         assert match.degree_of(1) == 1
         assert match.degree_of(9) == 0
 
+    def test_sort_key_is_integer_based(self, fig1_index):
+        """No repr() strings on the hot path: tie-breaks compare packed ids."""
+        node = fig1_index.single_edge_motif("a", "b")
+        match = Match(frozenset([pack_edge(2, 1), pack_edge(2, 3)]), node)
+        support, size, ties = match.sort_key()
+        assert support == -node.support
+        assert size == 2
+        assert ties == (pack_edge(1, 2), pack_edge(2, 3))
+
     def test_matchlist_indexes(self, fig1_index):
         ml = MatchList()
         node = fig1_index.single_edge_motif("a", "b")
-        e = normalize_edge(1, 2)
+        e = pack_edge(1, 2)
         match = Match(frozenset([e]), node)
         assert ml.add(match)
         assert not ml.add(match)  # duplicate
@@ -188,7 +229,7 @@ class TestMatchAndMatchList:
     def test_drop_edges_returns_dropped(self, fig1_index):
         ml = MatchList()
         node = fig1_index.single_edge_motif("a", "b")
-        e1, e2 = normalize_edge(1, 2), normalize_edge(3, 4)
+        e1, e2 = pack_edge(1, 2), pack_edge(3, 4)
         m1, m2 = Match(frozenset([e1]), node), Match(frozenset([e2]), node)
         ml.add(m1)
         ml.add(m2)

@@ -59,7 +59,7 @@ class TestSnapshots:
         assert snapshot.edges_seen == streamed.num_edges
         from repro.query.online import _SnapshotView
 
-        view = _SnapshotView(loom.state, loom.matcher.window.graph)
+        view = _SnapshotView(loom.state, loom.matcher.window.to_labelled_graph())
         with pytest.raises(TypeError):
             view.assign("x", 0)
 

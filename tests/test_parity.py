@@ -10,6 +10,7 @@ identical event lists and compare full assignment maps.
 import pytest
 
 from repro.core.loom import LoomPartitioner
+from repro.graph.interning import VertexInterner
 from repro.graph.stream import stream_edges, synthetic_stream
 from repro.partitioning.fennel import FennelPartitioner
 from repro.partitioning.hash_partitioner import HashPartitioner
@@ -87,6 +88,74 @@ def test_loom_parity(graph, workload, order, window):
     LoomPartitioner(new, workload, window_size=window, seed=0).ingest_all(events)
     LegacyLoomPartitioner(old, workload, window_size=window, seed=0).ingest_all(events)
     assert new.assignment() == old.assignment()
+
+
+@pytest.mark.parametrize("order", ["bfs", "random"])
+def test_loom_parity_tight_capacity_spills(graph, workload, order):
+    """Zero-slack capacity forces auctions to fill the winner mid-cluster
+    and spill the tail — the path where assignment *order* matters.  The
+    legacy glue aligns its spill tie-break with the live allocator's
+    interner order, so parity must hold bit for bit even here."""
+    import math
+
+    events = list(stream_edges(graph, order, seed=3))
+    capacity = math.ceil(graph.num_vertices / K)  # imbalance 1.0
+    new = PartitionState(K, capacity)
+    old = DictPartitionState(K, capacity)
+    LoomPartitioner(new, workload, window_size=150, seed=0).ingest_all(events)
+    LegacyLoomPartitioner(old, workload, window_size=150, seed=0).ingest_all(events)
+    assert new.assignment() == old.assignment()
+
+
+def test_spill_tiebreak_parity(fig1_index):
+    """When the winner fills mid-cluster, *which* vertices spill depends on
+    the assignment order.  The live allocator sorts interner ids; the
+    legacy glue passes interner order as ``vertex_order`` so both sides
+    break the tie identically even where id order and the seed's repr
+    order disagree (here: ids say 9 first, reprs say '10' first)."""
+    from repro.core.allocation import EqualOpportunism
+    from repro.core.matching import Match
+    from repro.graph.interning import pack_edge
+    from repro.partitioning.legacy import DictPartitionState, LegacyEqualOpportunism
+
+    node = fig1_index.single_edge_motif("a", "b")
+
+    class VertexView:
+        """The match surface LegacyEqualOpportunism reads."""
+
+        def __init__(self, vertices):
+            self.vertices = frozenset(vertices)
+            self.edges = frozenset()
+            self.support = node.support
+
+    results = []
+    for side in ("live", "legacy"):
+        if side == "live":
+            state = PartitionState(2, 4)
+            ids = {v: state.intern(v) for v in (1, 9, 10, 2)}  # id order: 1,9,10,2
+            state.assign(1, 0)  # overlap pulls the auction to partition 0
+            state.assign(("pad", 0), 0)
+            state.assign(("pad", 1), 0)  # partition 0 now 3/4: one slot left
+            match = Match(
+                frozenset(pack_edge(ids[1], ids[v]) for v in (9, 10, 2)), node
+            )
+            EqualOpportunism(state).allocate([match])
+        else:
+            interner = VertexInterner()
+            for v in (1, 9, 10, 2):
+                interner.intern(v)
+            state = DictPartitionState(2, 4)
+            state.assign(1, 0)
+            state.assign(("pad", 0), 0)
+            state.assign(("pad", 1), 0)
+            LegacyEqualOpportunism(state, vertex_order=interner.id_of).allocate(
+                [VertexView([1, 9, 10, 2])]
+            )
+        assignment = state.assignment()
+        assert sum(1 for v in (9, 10, 2) if assignment[v] == 0) == 1  # spill happened
+        results.append({v: assignment[v] for v in (1, 9, 10, 2)})
+    assert results[0] == results[1]
+    assert results[0][9] == 0  # id order: 9 takes the last slot, 10 and 2 spill
 
 
 def test_loom_parity_neighbor_aware_bids(graph, workload):

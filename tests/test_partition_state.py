@@ -138,6 +138,17 @@ class TestErrorPaths:
         assert not state.is_assigned_id(999)
         assert state.partition_of("never-seen") is None
 
+    def test_assign_id_grows_vector_for_interner_minted_ids(self):
+        """Regression: an id minted through the shared interner directly
+        (a matcher built with ``interner=state.interner`` does this) must
+        be assignable even though ``state.intern`` never saw it."""
+        state = PartitionState(2, 10)
+        vid = state.interner.intern("via-matcher")  # bypasses state.intern
+        state.assign_id(vid, 1)
+        assert state.partition_of("via-matcher") == 1
+        with pytest.raises(IndexError, match="never interned"):
+            state.assign_id(vid + 1, 0)
+
 
 class TestInterner:
     def test_dense_first_seen_ids(self):

@@ -75,10 +75,14 @@ def test_property_matcher_is_complete(seed, n_edges):
     for u, v in sorted(g.edges(), key=repr):
         matcher.offer(EdgeEvent(u, g.label(u), v, g.label(v)))
 
-    window_graph = matcher.window.graph
+    window_graph = matcher.window.to_labelled_graph()
     expected = brute_force_motif_subgraphs(window_graph, index)
     actual = {
-        (m.edges, m.node.node_id) for m in matcher.matchlist.all_matches()
+        (
+            frozenset(normalize_edge(u, v) for u, v in matcher.resolve_edges(m)),
+            m.node.node_id,
+        )
+        for m in matcher.matchlist.all_matches()
     }
     assert actual == expected
 

@@ -117,6 +117,17 @@ class TestRoundTrip:
         events = stream_prefix(stream_edges(random_graph, "bfs", seed=0), 10**9)
         assert len(events) == random_graph.num_edges
 
+    def test_stream_prefix_zero_is_empty(self, random_graph):
+        """Regression: n=0 used to return one event (the length check ran
+        after the append)."""
+        stream = stream_edges(random_graph, "bfs", seed=0)
+        assert stream_prefix(stream, 0) == []
+        # The underlying stream was not consumed past the guard.
+        assert len(list(stream)) == random_graph.num_edges
+
+    def test_stream_prefix_negative_is_empty(self, random_graph):
+        assert stream_prefix(stream_edges(random_graph, "bfs", seed=0), -3) == []
+
 
 @settings(max_examples=25, deadline=None)
 @given(

@@ -1,9 +1,8 @@
-"""Tests for the sliding window Ptemp (Sec. 3)."""
+"""Tests for the sliding window Ptemp (Sec. 3), id-based."""
 
 import pytest
 
-from repro.core.window import SlidingWindow
-from repro.graph.labelled_graph import normalize_edge
+from repro.core.window import LabelConflictError, SlidingWindow
 from repro.graph.stream import EdgeEvent
 
 
@@ -14,29 +13,66 @@ def ev(u, lu, v, lv):
 class TestBuffering:
     def test_add_and_len(self):
         w = SlidingWindow(3)
-        assert w.add(ev(1, "a", 2, "b"))
+        ekey = w.add(ev(1, "a", 2, "b"))
+        assert ekey is not None
         assert len(w) == 1
-        assert normalize_edge(1, 2) in w
+        assert ekey in w
 
     def test_duplicate_edge_rejected(self):
         w = SlidingWindow(3)
         w.add(ev(1, "a", 2, "b"))
-        assert not w.add(ev(2, "b", 1, "a"))
+        assert w.add(ev(2, "b", 1, "a")) is None
         assert len(w) == 1
+
+    def test_duplicate_with_conflicting_labels_raises(self):
+        """A relabelled re-arrival used to be dropped silently; now it is a
+        detected stream corruption."""
+        w = SlidingWindow(3)
+        w.add(ev(1, "a", 2, "b"))
+        with pytest.raises(LabelConflictError):
+            w.add(ev(1, "a", 2, "c"))
+        # The buffered event is untouched.
+        assert len(w) == 1
+        assert w.oldest().v_label == "b"
+
+    def test_incident_edge_relabelling_vertex_raises(self):
+        w = SlidingWindow(3)
+        w.add(ev(1, "a", 2, "b"))
+        with pytest.raises(LabelConflictError):
+            w.add(ev(2, "c", 3, "c"))
 
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             SlidingWindow(0)
 
+    def test_self_loop_rejected(self):
+        """Simple-graph model, as in the seed's graph-backed window."""
+        w = SlidingWindow(3)
+        with pytest.raises(ValueError, match="self-loop"):
+            w.add(ev(7, "x", 7, "y"))
+        assert len(w) == 0
+        assert w.num_vertices == 0
+
     def test_window_graph_tracks_contents(self):
         w = SlidingWindow(5)
         w.add(ev(1, "a", 2, "b"))
         w.add(ev(2, "b", 3, "c"))
-        assert w.graph.num_vertices == 3
-        assert w.graph.num_edges == 2
-        assert w.graph.label(3) == "c"
+        assert w.num_vertices == 3
+        assert len(w) == 2
+        vid3 = w.interner.id_of(3)
+        assert w.label_id(vid3) == "c"
         assert w.degree_in_window(2) == 2
         assert w.degree_in_window(99) == 0
+
+    def test_to_labelled_graph_materialises_ptemp(self):
+        w = SlidingWindow(5)
+        w.add(ev(1, "a", 2, "b"))
+        w.add(ev(2, "b", 3, "c"))
+        g = w.to_labelled_graph()
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.label(3) == "c"
+        assert g.has_edge(1, 2)
 
 
 class TestFifo:
@@ -46,10 +82,15 @@ class TestFifo:
         w.add(first)
         w.add(ev(2, "b", 3, "c"))
         assert w.oldest() is first
+        ekey, event = w.oldest_item()
+        assert event is first
+        assert ekey in w
 
     def test_oldest_on_empty_raises(self):
         with pytest.raises(LookupError):
             SlidingWindow(2).oldest()
+        with pytest.raises(LookupError):
+            SlidingWindow(2).oldest_item()
 
     def test_overflow_flag(self):
         w = SlidingWindow(2)
@@ -62,9 +103,9 @@ class TestFifo:
     def test_oldest_advances_after_removal(self):
         w = SlidingWindow(5)
         e1, e2 = ev(1, "a", 2, "b"), ev(2, "b", 3, "c")
-        w.add(e1)
+        k1 = w.add(e1)
         w.add(e2)
-        w.remove_edges({e1.edge})
+        w.remove_ekeys({k1})
         assert w.oldest() is e2
 
 
@@ -72,37 +113,45 @@ class TestClusterRemoval:
     def test_remove_multiple_edges(self):
         w = SlidingWindow(5)
         events = [ev(1, "a", 2, "b"), ev(2, "b", 3, "c"), ev(3, "c", 4, "d")]
-        for e in events:
-            w.add(e)
-        removed = w.remove_edges({events[0].edge, events[2].edge})
-        assert {r.edge for r in removed} == {events[0].edge, events[2].edge}
+        keys = [w.add(e) for e in events]
+        removed = w.remove_ekeys({keys[0], keys[2]})
+        assert set(removed) == {events[0], events[2]}
         assert len(w) == 1
 
     def test_isolated_vertices_dropped_from_graph(self):
         w = SlidingWindow(5)
-        w.add(ev(1, "a", 2, "b"))
+        k1 = w.add(ev(1, "a", 2, "b"))
         w.add(ev(2, "b", 3, "c"))
-        w.remove_edges({normalize_edge(1, 2)})
-        assert not w.graph.has_vertex(1)
-        assert w.graph.has_vertex(2)  # still held by the 2-3 edge
+        w.remove_ekeys({k1})
+        assert not w.has_vertex_id(w.interner.id_of(1))
+        assert w.has_vertex_id(w.interner.id_of(2))  # still held by the 2-3 edge
+
+    def test_vertex_label_forgotten_once_isolated(self):
+        """A vertex that left Ptemp entirely may re-enter relabelled — only
+        *windowed* labels are immutable (matches the seed's graph-backed
+        behaviour, where remove_vertex deleted the label)."""
+        w = SlidingWindow(5)
+        k1 = w.add(ev(1, "a", 2, "b"))
+        w.remove_ekeys({k1})
+        assert w.add(ev(1, "z", 3, "c")) is not None
 
     def test_remove_unknown_edges_ignored(self):
         w = SlidingWindow(5)
         w.add(ev(1, "a", 2, "b"))
-        assert w.remove_edges({normalize_edge(8, 9)}) == []
+        assert w.remove_ekeys({(99 << 32) | 100}) == []
         assert len(w) == 1
 
     def test_event_lookup(self):
         w = SlidingWindow(5)
         e = ev(1, "a", 2, "b")
-        w.add(e)
-        assert w.event_for(e.edge) is e
-        assert w.event_for(normalize_edge(5, 6)) is None
+        ekey = w.add(e)
+        assert w.event_for(ekey) is e
+        assert w.event_for((5 << 32) | 6) is None
 
     def test_iteration(self):
         w = SlidingWindow(5)
         e1, e2 = ev(1, "a", 2, "b"), ev(2, "b", 3, "c")
-        w.add(e1)
-        w.add(e2)
-        assert list(w.edges()) == [e1.edge, e2.edge]
+        k1 = w.add(e1)
+        k2 = w.add(e2)
+        assert list(w.edges()) == [k1, k2]
         assert list(w.events()) == [e1, e2]

@@ -1,0 +1,178 @@
+"""Matcher-only microbenchmark: the offer/extend/evict loop, no placement.
+
+``bench_throughput.py`` measures whole systems; Loom's row is dominated by
+the stream matcher but also pays for LDG placement, the auction and the
+partition state.  This benchmark isolates the matcher (the target of the
+MotifPlan compile step): a standalone :class:`StreamMatcher` consumes a
+synthetic stream, and whenever the window overflows the oldest edge's
+single-edge match cluster is removed — the minimal stand-in for Loom's
+allocation that keeps the window at capacity and the matchList churning.
+No partition state exists, so a regression here is a matcher regression,
+full stop.
+
+Run from the repository root::
+
+    python benchmarks/bench_matcher.py             # writes BENCH_matcher.json
+    python benchmarks/bench_matcher.py --edges 4000 --window 500 --repeats 2
+
+``gain_vs_baseline`` compares against the previously committed
+``BENCH_matcher.json`` (same caveats as bench_throughput: it is a
+cross-run ratio and absorbs machine drift).  CI runs a reduced-scale pass
+so matcher regressions fail visibly.
+"""
+
+import argparse
+import gc
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.core.matching import StreamMatcher
+from repro.core.motifs import MotifIndex
+from repro.core.tpstry import TPSTry
+from repro.graph.stream import synthetic_stream
+from repro.query.pattern import path_pattern
+from repro.query.workload import Workload
+
+DEFAULT_EDGES = 20_000
+DEFAULT_VERTICES = 4_000
+DEFAULT_WINDOW = 2_000
+
+
+def bench_workload() -> Workload:
+    """The same workload as bench_throughput's Loom row, for comparability."""
+    return Workload(
+        [
+            (path_pattern(["a", "b", "a", "b"], name="abab"), 0.5),
+            (path_pattern(["a", "b", "c"], name="abc"), 0.5),
+        ],
+        name="bench",
+    )
+
+
+def drive_matcher(matcher: StreamMatcher, events) -> None:
+    """Offer every event; on overflow, evict the oldest edge's own cluster."""
+    offer = matcher.offer
+    needs_eviction = matcher.needs_eviction
+    next_eviction = matcher.next_eviction
+    remove_cluster = matcher.remove_cluster
+    for event in events:
+        if offer(event):
+            while needs_eviction():
+                eviction = next_eviction()
+                if eviction.matches:
+                    remove_cluster(eviction.matches[0].edges)
+                else:
+                    remove_cluster({eviction.ekey})
+    while matcher.pending() > 0:
+        eviction = next_eviction()
+        if eviction.matches:
+            remove_cluster(eviction.matches[0].edges)
+        else:
+            remove_cluster({eviction.ekey})
+
+
+def timed_run(index: MotifIndex, window: int, events):
+    matcher = StreamMatcher(index, window)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        drive_matcher(matcher, events)
+        elapsed = time.perf_counter() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        gc.collect()
+    return elapsed, matcher
+
+
+def load_baseline(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError):
+        return None
+
+
+def comparable(baseline, args) -> bool:
+    if baseline is None:
+        return False
+    cfg = baseline.get("config", {})
+    keys = ["edges", "vertices", "window", "seed"]
+    mismatched = [k for k in keys if cfg.get(k) != getattr(args, k)]
+    if mismatched:
+        print(
+            f"note: baseline config differs on {', '.join(mismatched)}; "
+            "gain_vs_baseline omitted",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--edges", type=int, default=DEFAULT_EDGES)
+    parser.add_argument("--vertices", type=int, default=DEFAULT_VERTICES)
+    parser.add_argument("--window", type=int, default=DEFAULT_WINDOW)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N timing")
+    parser.add_argument("--out", default=str(Path(__file__).resolve().parent.parent / "BENCH_matcher.json"))
+    parser.add_argument("--baseline", default=None,
+                        help="previous results file (default: the --out path)")
+    args = parser.parse_args(argv)
+
+    events = list(synthetic_stream(args.vertices, args.edges, seed=args.seed))
+    index = MotifIndex(TPSTry.from_workload(bench_workload()), 0.4)
+    baseline = load_baseline(args.baseline if args.baseline is not None else args.out)
+
+    best = float("inf")
+    matcher = None
+    for _ in range(max(1, args.repeats)):
+        elapsed, matcher = timed_run(index, args.window, events)
+        best = min(best, elapsed)
+
+    eps = args.edges / best
+    results = {
+        "seconds": round(best, 4),
+        "edges_per_sec": round(eps, 1),
+        "matcher_stats": matcher.stats.as_dict(),
+    }
+    note = ""
+    if comparable(baseline, args):
+        base_eps = baseline.get("results", {}).get("edges_per_sec")
+        if base_eps:
+            results["baseline_edges_per_sec"] = base_eps
+            results["gain_vs_baseline"] = round(eps / base_eps, 3)
+            note = f", {eps / base_eps:.2f}x vs committed baseline"
+    print(f"matcher: {eps:>12,.0f} edges/s ({args.edges:,} edges{note})")
+
+    payload = {
+        "benchmark": "matcher-only offer/extend/evict loop (no placement)",
+        "config": {
+            "edges": args.edges,
+            "vertices": args.vertices,
+            "window": args.window,
+            "seed": args.seed,
+            "repeats": args.repeats,
+        },
+        "python": platform.python_version(),
+        "results": results,
+    }
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+    print(f"written: {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,6 +47,9 @@ class SystemRun:
     edges: int
     report: Optional[ExecutionReport] = None
     quality: Dict[str, float] = field(default_factory=dict)
+    #: Matcher/plan counters (``MatcherStats.as_dict()``) for systems that
+    #: carry a stream matcher (Loom); ``None`` for the rest.
+    matcher_stats: Optional[Dict[str, int]] = None
 
     @property
     def ms_per_10k_edges(self) -> float:
@@ -145,6 +148,9 @@ def run_system(
         seconds=elapsed,
         edges=partitioner.edges_ingested,
     )
+    matcher = getattr(partitioner, "matcher", None)
+    if matcher is not None:
+        run.matcher_stats = matcher.stats.as_dict()
     # Prefix streams (Table 2 throughput runs) leave unseen vertices
     # unassigned; whole-graph quality only makes sense for full streams.
     if state.num_assigned == graph.num_vertices:

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.matching import Match
 from repro.graph.labelled_graph import Vertex
@@ -215,11 +215,12 @@ class EqualOpportunism:
 
         total = len(matches)
         # Inlined Eq. 2 (same arithmetic as :meth:`ration`): one sizes
-        # snapshot and one min() instead of k of each, per auction.
+        # read and one min() instead of k of each, per auction.  The live
+        # size list is only read before any assignment below mutates it.
         k = self.state.k
+        sizes = self.state._sizes
+        capacity = self.state.capacity
         if self.rationing_enabled:
-            sizes = self.state.sizes()
-            capacity = self.state.capacity
             smallest = max(min(sizes), 1)
             alpha = self.alpha
             rations = [
@@ -230,25 +231,50 @@ class EqualOpportunism:
             ]
         else:
             rations = [1.0] * k
-        prefix_lengths = [math.ceil(r * total) for r in rations]
+        prefix_lengths = [
+            total if r >= 1.0 else math.ceil(r * total) for r in rations
+        ]
         # Bids only look at each partition's rationed prefix, so overlap
         # counts beyond the longest prefix are never read — and Me can be
-        # much longer than any ration allows.
+        # much longer than any ration allows.  One pass over the scored
+        # matches accumulates every partition's running prefix total;
+        # partition i's bid is then the row at its own prefix length.  The
+        # term grouping ((overlap · residual) · support) and the ascending
+        # summation order are those of the per-partition sums this
+        # replaces, so the bids are bit-identical, k× cheaper.  Zero-count
+        # partitions contribute an exact 0.0 term and are skipped, so the
+        # overlaps are accumulated sparsely (matches touch few partitions).
         scored = max(max(prefix_lengths), 1)
-        overlaps = [self._overlap_counts(m) for m in matches[:scored]]
-        supports = [
-            (m.support if self.support_weighting else 1.0) for m in matches[:scored]
-        ]
-        residuals = [self.state.residual_capacity(i) for i in range(self.state.k)]
-        bids: List[float] = [
-            sum(
-                overlaps[j][i] * residuals[i] * supports[j]
-                for j in range(prefix_lengths[i])
-            )
-            for i in range(self.state.k)
-        ]
+        residuals = [max(0.0, 1.0 - size / capacity) for size in sizes]
+        support_weighting = self.support_weighting
+        sparse_overlaps = self.neighbor_ids_fn is None and self.neighbor_fn is None
+        overlap_counts = self._overlap_counts
+        assignment = self._assignment
+        n = len(assignment)
+        row: List[float] = [0.0] * k
+        prefix_rows: List[List[float]] = [row]
+        for m in matches[:scored]:
+            support = m.support if support_weighting else 1.0
+            row = row[:]
+            if sparse_overlaps:
+                counts: Dict[int, int] = {}
+                for vid in m.vertices:
+                    if vid < n:
+                        p = assignment[vid]
+                        if p >= 0:
+                            counts[p] = counts.get(p, 0) + 1
+                for p, c in counts.items():
+                    row[p] += c * residuals[p] * support
+            else:
+                full_counts = overlap_counts(m)
+                for p in range(k):
+                    c = full_counts[p]
+                    if c:
+                        row[p] += c * residuals[p] * support
+            prefix_rows.append(row)
+        bids: List[float] = [prefix_rows[prefix_lengths[i]][i] for i in range(k)]
 
-        winner = self._pick_winner(bids)
+        winner = self._pick_winner(bids, sizes)
         fallback = bids[winner] <= 0.0
         if fallback:
             cluster_ids: Set[int] = set()
@@ -267,18 +293,19 @@ class EqualOpportunism:
         for m in assigned:
             edges |= m.edges
             vertices |= m.vertices
+        assign_id = self.state.assign_id
         for vid in sorted(vertices):  # id order: deterministic, repr-free
-            if self.state.is_assigned_id(vid):
+            if vid < n and assignment[vid] >= 0:
                 continue
-            if self.state.is_full(winner):
+            if sizes[winner] >= capacity:  # live list: tracks assigns below
                 # The hard cap (ν = b = 1.1, "emulating Fennel") is strict:
                 # a cluster larger than the winner's remaining capacity
                 # spills its tail to the least-loaded open partition.
                 spill_to = self.state.open_partitions()
-                target = min(spill_to, key=lambda i: (self.state.size(i), i)) if spill_to else winner
-                self.state.assign_id(vid, target)
+                target = min(spill_to, key=lambda i: (sizes[i], i)) if spill_to else winner
+                assign_id(vid, target)
             else:
-                self.state.assign_id(vid, winner)
+                assign_id(vid, winner)
         return AllocationDecision(
             winner=winner,
             assigned_matches=assigned,
@@ -288,12 +315,14 @@ class EqualOpportunism:
             fallback=fallback,
         )
 
-    def _pick_winner(self, bids: List[float]) -> int:
+    def _pick_winner(self, bids: List[float], sizes: Optional[List[int]] = None) -> int:
         """Highest bid; ties go to the smaller partition, then lower index."""
+        if sizes is None:
+            sizes = self.state.sizes()
         best = 0
         best_key: Optional[Tuple[float, int, int]] = None
         for i, b in enumerate(bids):
-            key = (-b, self.state.size(i), i)
+            key = (-b, sizes[i], i)
             if best_key is None or key < best_key:
                 best, best_key = i, key
         return best

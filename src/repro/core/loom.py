@@ -3,8 +3,11 @@
 Loom continuously partitions an online graph into ``k`` parts, optimising
 vertex placement for a workload ``Q`` of pattern-matching queries:
 
-1. At construction it builds the TPSTry++ for ``Q`` and filters it to the
-   motif index at support threshold ``T`` (default 40%, Sec. 5.1).
+1. At construction it builds the TPSTry++ for ``Q``, filters it to the
+   motif index at support threshold ``T`` (default 40%, Sec. 5.1), and
+   **compiles** the filtered trie into a flat integer
+   :class:`~repro.core.plan.MotifPlan` — the form the stream matcher
+   actually executes (objects at construction, ints on the stream).
 2. Each arriving edge is checked against the single-edge motifs.  A
    non-matching edge is placed immediately with the LDG heuristic and never
    enters the window.  A matching edge enters the sliding window ``Ptemp``
@@ -68,10 +71,13 @@ class LoomPartitioner(StreamingPartitioner):
         self.scheme = scheme or SignatureScheme(workload.label_set(), p=prime, seed=seed)
         self.trie = TPSTry.from_workload(workload, self.scheme)
         self.index = MotifIndex(self.trie, support_threshold)
+        # Compile boundary: the object DAG stays for introspection/drift
+        # updates, the matcher consumes only the flat integer plan.
+        self.plan = self.index.compile()
         # The matcher shares the state's interner: match vertex ids index
         # the assignment vector directly, so the auction never re-interns.
         self.matcher = StreamMatcher(
-            self.index,
+            self.plan,
             window_size,
             max_matches_per_vertex=max_matches_per_vertex,
             interner=state.interner,
@@ -79,6 +85,13 @@ class LoomPartitioner(StreamingPartitioner):
         # Seen-so-far adjacency over interned ids: used by the LDG placement
         # of non-motif edges and by the auction's neighbour-aware overlaps.
         self._adj: Dict[int, Set[int]] = {}
+        # Live views bound once for the per-event fast path (in-package
+        # inner-loop binding, ARCHITECTURE.md): the assignment vector grows
+        # in place and the window adjacency dict identity is stable.
+        self._assignment = state.assignment_vector
+        self._window_adj = self.matcher.window._adj
+        self._window_events = self.matcher.window._events
+        self._window_capacity = self.matcher.window.capacity
         # The literal Eq. 1 (vertex overlap) measures best and is the
         # default; neighbour-aware bids are kept as an ablation (footnote 8
         # reading — see benchmarks/bench_ablation.py).
@@ -103,33 +116,13 @@ class LoomPartitioner(StreamingPartitioner):
     # Streaming protocol
     # ------------------------------------------------------------------
     def ingest(self, event: EdgeEvent) -> None:
-        uid, vid = self._record(event.u, event.v)
-        if not self.matcher.offer(event, uid, vid):
-            # Sec. 3: the edge can never join a motif match — place it now
-            # with LDG and do not displace window edges.  Endpoints that
-            # currently sit in the window are *not* pinned here: their
-            # placement belongs to the motif cluster they are part of
-            # (Sec. 4's allocation); they are skipped and will be assigned
-            # when their cluster leaves the window.
-            self._ldg_place(event.u, uid)
-            self._ldg_place(event.v, vid)
-            self.stats["immediate_assignments"] += 1
-            return
-        while self.matcher.needs_eviction():
-            self._evict_once()
-
-    def finalize(self) -> None:
-        """Drain ``Ptemp``: every remaining edge leaves via the normal
-        eviction/allocation path (the stream has ended)."""
-        while self.matcher.pending() > 0:
-            self._evict_once()
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _record(self, u: Vertex, v: Vertex):
-        uid = self.state.intern(u)
-        vid = self.state.intern(v)
+        # Inlined _record: intern both endpoints and update the seen-so-far
+        # adjacency.  state.intern's assignment-vector growth is skipped —
+        # every consumer of the vector guards ``vid < len`` and assign_id
+        # grows it on demand — so this is two dict hits plus the set adds.
+        intern = self.state.interner.intern
+        uid = intern(event.u)
+        vid = intern(event.v)
         adj = self._adj
         bucket = adj.get(uid)
         if bucket is None:
@@ -141,8 +134,31 @@ class LoomPartitioner(StreamingPartitioner):
             adj[vid] = {uid}
         else:
             bucket.add(uid)
-        return uid, vid
+        if not self.matcher.offer(event, uid, vid):
+            # Sec. 3: the edge can never join a motif match — place it now
+            # with LDG and do not displace window edges.  Endpoints that
+            # currently sit in the window are *not* pinned here: their
+            # placement belongs to the motif cluster they are part of
+            # (Sec. 4's allocation); they are skipped and will be assigned
+            # when their cluster leaves the window.
+            self._ldg_place(event.u, uid)
+            self._ldg_place(event.v, vid)
+            self.stats["immediate_assignments"] += 1
+            return
+        # Inlined matcher.needs_eviction (window FIFO dict + capacity,
+        # bound at construction): one len() per windowed edge.
+        while len(self._window_events) > self._window_capacity:
+            self._evict_once()
 
+    def finalize(self) -> None:
+        """Drain ``Ptemp``: every remaining edge leaves via the normal
+        eviction/allocation path (the stream has ended)."""
+        while self.matcher.pending() > 0:
+            self._evict_once()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
     def _ldg_place(self, v: Vertex, vid: int) -> None:
         """LDG placement for a vertex outside the window's jurisdiction.
 
@@ -152,9 +168,10 @@ class LoomPartitioner(StreamingPartitioner):
         letting an incidental non-motif edge pin such a vertex early would
         make the motif allocation a no-op for it.
         """
-        if self.state.is_assigned_id(vid):
+        assignment = self._assignment
+        if vid < len(assignment) and assignment[vid] >= 0:
             return
-        if self.matcher.window.has_vertex_id(vid):
+        if vid in self._window_adj:
             return
         self.state.assign_id(vid, ldg_choose_ids(self.state, self._adj.get(vid, ())))
 
@@ -204,4 +221,6 @@ class LoomPartitioner(StreamingPartitioner):
             "motifs": float(self.index.num_motifs),
             "single_edge_motifs": float(len(self.index.single_edge_motifs())),
             "max_motif_edges": float(self.index.max_motif_edges),
+            "plan_states": float(self.plan.num_states),
+            "plan_deltas": float(self.plan.num_deltas),
         }

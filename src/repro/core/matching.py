@@ -1,4 +1,4 @@
-"""Stream motif matching (paper Sec. 3, Alg. 2), on interned integer ids.
+"""Stream motif matching (paper Sec. 3, Alg. 2), on a compiled MotifPlan.
 
 As each edge ``e = (v1, v2)`` arrives, the matcher maintains ``matchList`` —
 a map from window vertices to the motif-matching sub-graphs containing them
@@ -8,12 +8,12 @@ a map from window vertices to the motif-matching sub-graphs containing them
    join any motif match; the caller places it immediately and it never
    enters the window.
 2. **Extension** (Alg. 2 lines 3–8): for every existing match ``m`` touching
-   ``v1`` or ``v2``, if the motif node of ``m`` has a motif child whose
-   factor delta equals ``factors(e, m)``, then ``m + e`` matches that child.
+   ``v1`` or ``v2``, if the motif state of ``m`` has a motif successor whose
+   factor delta equals ``factors(e, m)``, then ``m + e`` matches that state.
 3. **Pair join** (Alg. 2 lines 11–18): a match containing ``e`` and an
    existing match on the other endpoint may merge into a larger motif; the
    smaller side's edges are "grown" into the larger one by one, each step
-   validated through the trie, until exhausted.
+   validated through the plan, until exhausted.
 
 Every connected sub-graph of a motif is itself a motif (support is monotone,
 Sec. 3), so each match in the window was discoverable when its last edge
@@ -21,16 +21,21 @@ arrived: extension finds ``C_u + e`` for the component of ``M − e``
 containing ``v1``, and one pair join merges in the component at ``v2``.
 
 The matcher is the measured hot path of the whole reproduction (Table 2 —
-ingestion cost is matcher-dominated), so everything in here runs on dense
-integer ids: vertices are interner ids, edges are packed id pairs
-(:func:`~repro.graph.interning.pack_edge`), and every ordering — match sort
-keys, ``_grow``'s edge order — is a plain integer comparison.  The
-``repr()``-string orderings this replaces were both slow (string building
-per comparison) and *wrong*: for vertex objects without a value-based
-``__repr__`` they embedded memory addresses, so match order, auction
-tie-breaks and therefore final assignments silently varied across runs.
+ingestion cost is matcher-dominated), so it consumes the **compiled**
+:class:`~repro.core.plan.MotifPlan`, never the object trie: vertices are
+interner ids, edges are packed id pairs
+(:func:`~repro.graph.interning.pack_edge`), labels are
+:class:`~repro.graph.interning.LabelInterner` ids shared between the plan
+and the window's id → label map, motifs are dense plan state ids carried in
+:class:`Match`, and both of Alg. 2's lookups are single int-keyed dict
+probes against tables the plan pre-computed from the TPSTry++.  Per-state
+facts (support, extensibility) are flat array reads.  Every ordering —
+match sort keys, ``_grow``'s edge order — is a plain integer comparison;
+``repr()``-string orderings are banned on this path (they were both slow
+and, for address-based default reprs, a cross-run determinism bug).
 Vertex objects are translated back only at the public boundary
-(:meth:`StreamMatcher.resolve_vertices` / :meth:`StreamMatcher.resolve_edges`).
+(:meth:`StreamMatcher.resolve_vertices` / :meth:`StreamMatcher.resolve_edges`);
+trie nodes are reachable for debugging through ``plan.node_of(state)``.
 
 A per-vertex match cap (``max_matches_per_vertex``) bounds the combinatorial
 worst case on dense, label-homogeneous hubs; it is generous by default and
@@ -39,11 +44,11 @@ its effect is measured in the ablation benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from dataclasses import asdict, dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.core.motifs import MotifIndex
-from repro.core.tpstry import TrieNode
+from repro.core.plan import MotifPlan
 from repro.core.window import LabelConflictError, SlidingWindow
 from repro.graph.interning import EDGE_MASK, EDGE_SHIFT, VertexInterner, pack_edge
 from repro.graph.labelled_graph import Vertex
@@ -52,24 +57,31 @@ from repro.graph.stream import EdgeEvent
 EdgeSet = FrozenSet[int]
 """A set of packed edge keys (see :func:`~repro.graph.interning.pack_edge`)."""
 
+_NO_MATCHES: Set["Match"] = set()
+"""Shared empty result for matchList misses — the lookups run per candidate
+edge, and allocating a fresh ``set()`` default per miss was measurable."""
+
 
 class Match:
     """A sub-graph of window edges matching a motif (an entry of matchList).
 
-    ``edges`` holds packed edge keys and ``vertices`` interner ids; both are
-    integers end to end.
-    """
+    ``edges`` holds packed edge keys, ``vertices`` interner ids and
+    ``state`` a dense :class:`~repro.core.plan.MotifPlan` state id; all
+    integers end to end.  ``support`` is the state's support, denormalised
+    into the match because the auction and every sort key read it."""
 
-    __slots__ = ("edges", "node", "vertices", "_degrees", "_hash", "_sort_key")
+    __slots__ = ("edges", "state", "support", "vertices", "_degrees", "_hash", "_sort_key")
 
     def __init__(
         self,
         edges: EdgeSet,
-        node: TrieNode,
+        state: int,
+        support: float,
         _degrees: Optional[Dict[int, int]] = None,
     ) -> None:
         self.edges = edges
-        self.node = node
+        self.state = state
+        self.support = support
         # The matcher's construction sites already hold the degree map
         # (extension adds one edge to a known match; _grow threads degrees
         # through its backtracking) and pass it in; it is never mutated
@@ -77,12 +89,8 @@ class Match:
         degrees = _edge_set_degrees(edges) if _degrees is None else _degrees
         self._degrees = degrees
         self.vertices: FrozenSet[int] = frozenset(degrees)
-        self._hash = hash((self.edges, node.node_id))
+        self._hash = hash((self.edges, state))
         self._sort_key: Optional[Tuple[float, int, Tuple[int, ...]]] = None
-
-    @property
-    def support(self) -> float:
-        return self.node.support
 
     @property
     def num_edges(self) -> int:
@@ -102,8 +110,8 @@ class Match:
     def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, Match)
+            and self.state == other.state
             and self.edges == other.edges
-            and self.node.node_id == other.node.node_id
         )
 
     def sort_key(self) -> Tuple[float, int, Tuple[int, ...]]:
@@ -120,7 +128,7 @@ class Match:
         return self._sort_key
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Match |E|={len(self.edges)} motif=#{self.node.node_id} supp={self.support:.2f}>"
+        return f"<Match |E|={len(self.edges)} state=#{self.state} supp={self.support:.2f}>"
 
 
 class MatchList:
@@ -174,18 +182,42 @@ class MatchList:
                     del self._by_edge[ekey]
 
     def matches_at(self, vid: int) -> Set[Match]:
-        return self._by_vertex.get(vid, set())
+        """The live match set at a vertex id (treat as read-only; a shared
+        empty set is returned for vertices with no matches)."""
+        return self._by_vertex.get(vid, _NO_MATCHES)
 
     def matches_containing_edge(self, ekey: int) -> Set[Match]:
-        return self._by_edge.get(ekey, set())
+        """The live match set of an edge key (treat as read-only)."""
+        return self._by_edge.get(ekey, _NO_MATCHES)
 
     def drop_edges(self, ekeys: Iterable[int]) -> Set[Match]:
-        """Remove every match containing any of ``ekeys``; returns them."""
+        """Remove every match containing any of ``ekeys``; returns them.
+
+        The eviction cascade runs this once per window slide; the discard
+        body is inlined (membership is guaranteed — doomed matches come
+        from the edge index itself)."""
+        by_vertex = self._by_vertex
+        by_edge = self._by_edge
         doomed: Set[Match] = set()
         for ekey in ekeys:
-            doomed |= self._by_edge.get(ekey, set())
+            bucket = by_edge.get(ekey)
+            if bucket:
+                doomed |= bucket
+        all_matches = self._all
         for match in doomed:
-            self.discard(match)
+            all_matches.discard(match)
+            for vid in match.vertices:
+                bucket = by_vertex.get(vid)
+                if bucket is not None:
+                    bucket.discard(match)
+                    if not bucket:
+                        del by_vertex[vid]
+            for ekey in match.edges:
+                bucket = by_edge.get(ekey)
+                if bucket is not None:
+                    bucket.discard(match)
+                    if not bucket:
+                        del by_edge[ekey]
         return doomed
 
     def __len__(self) -> int:
@@ -208,36 +240,85 @@ class Eviction:
     ekey: int
 
 
+@dataclass(slots=True)
+class MatcherStats:
+    """Counters for one :class:`StreamMatcher`, surfaced by
+    ``partition_cli --stats`` and the bench harness.
+
+    ``plan_states`` is static (the compiled automaton's size); everything
+    else accumulates over the stream.  ``root_hits`` counts edges passing
+    the single-edge gate, ``extension_probes`` counts successor-table
+    lookups (extension + pair-join growth), ``leaf_gate_skips`` counts
+    matches whose non-extensible (leaf-motif) state let the matcher skip
+    the factor arithmetic entirely.
+    """
+
+    plan_states: int = 0
+    edges_offered: int = 0
+    edges_windowed: int = 0
+    edges_bypassed: int = 0
+    matches_created: int = 0
+    pair_joins: int = 0
+    capped_registrations: int = 0
+    label_conflicts: int = 0
+    root_hits: int = 0
+    extension_probes: int = 0
+    leaf_gate_skips: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
 class StreamMatcher:
-    """Incremental motif matching over a sliding window (Alg. 2)."""
+    """Incremental motif matching over a sliding window (Alg. 2).
+
+    Constructed from a compiled :class:`~repro.core.plan.MotifPlan`; a
+    :class:`~repro.core.motifs.MotifIndex` is accepted and compiled on the
+    spot for convenience (tests, the frozen legacy glue).
+    """
 
     def __init__(
         self,
-        index: MotifIndex,
+        plan: Union[MotifPlan, MotifIndex],
         window_size: int,
         max_matches_per_vertex: int = 64,
         interner: Optional[VertexInterner] = None,
     ) -> None:
         if max_matches_per_vertex < 1:
             raise ValueError("max_matches_per_vertex must be positive")
-        self.index = index
+        if isinstance(plan, MotifIndex):
+            plan = plan.compile()
+        self.plan = plan
         #: Vertex ↔ id bijection shared with the window.  Loom passes the
         #: partition state's interner so match ids index the assignment
         #: vector directly; a standalone matcher owns a private one.
         self.interner = interner if interner is not None else VertexInterner()
-        self.window = SlidingWindow(window_size, interner=self.interner)
+        #: The window shares the plan's label interner: window label ids
+        #: are plan label ids, so delta probes need no translation.
+        self.window = SlidingWindow(window_size, interner=self.interner, labels=plan.labels)
         self.matchlist = MatchList()
         self.max_matches_per_vertex = max_matches_per_vertex
-        # Counters surfaced by the benchmarks / ablations.
-        self.stats = {
-            "edges_offered": 0,
-            "edges_windowed": 0,
-            "edges_bypassed": 0,
-            "matches_created": 0,
-            "pair_joins": 0,
-            "capped_registrations": 0,
-            "label_conflicts": 0,
-        }
+        self.stats = MatcherStats(plan_states=plan.num_states)
+        # MatchList internals, bound once (dict identities are stable):
+        # registration runs several times per windowed edge.
+        self._ml_by_vertex = self.matchlist._by_vertex
+        self._ml_by_edge = self.matchlist._by_edge
+        self._ml_all = self.matchlist._all
+        # Plan tables, bound once: these probes run per candidate edge at
+        # streaming rates (in-package inner-loop binding, ARCHITECTURE.md).
+        self._root_entry = plan.root_entry
+        self._support = plan.support
+        self._extensible = plan.extensible
+        self._successors = plan._successors
+        self._delta_shift = plan._delta_shift
+        self._delta_memo = plan._delta_memo
+        self._delta_slow = plan.delta_id
+        self._max_motif_edges = plan.max_motif_edges
+
+    @property
+    def index(self) -> MotifIndex:
+        """The object-level motif index behind the compiled plan."""
+        return self.plan.index
 
     # ------------------------------------------------------------------
     # Edge arrival
@@ -254,163 +335,283 @@ class StreamMatcher:
         to skip the repeat lookup; they must come from this matcher's
         interner.  Raises
         :class:`~repro.core.window.LabelConflictError` (counted in
-        ``stats["label_conflicts"]``) when the event relabels a windowed
+        ``stats.label_conflicts``) when the event relabels a windowed
         vertex — including a duplicate edge re-arriving with new labels,
         which the object-keyed matcher used to drop without trace.
         """
-        self.stats["edges_offered"] += 1
-        root = self.index.single_edge_motif(event.u_label, event.v_label)
-        if root is None:
-            self.stats["edges_bypassed"] += 1
+        stats = self.stats
+        stats.edges_offered += 1
+        root, lu, lv = self._root_entry(event.u_label, event.v_label)
+        if root < 0:
+            stats.edges_bypassed += 1
             return False
+        stats.root_hits += 1
         if uid is None or vid is None:
             intern = self.interner.intern
             uid = intern(event.u)
             vid = intern(event.v)
         ekey = pack_edge(uid, vid)
         try:
-            if self.window.add_ids(event, uid, vid, ekey) is None:
+            if self.window.add_ids(event, uid, vid, ekey, lu, lv) is None:
                 return True  # duplicate edge: already buffered, nothing new to match
         except LabelConflictError:
-            self.stats["label_conflicts"] += 1
+            stats.label_conflicts += 1
             raise
-        self.stats["edges_windowed"] += 1
+        stats.edges_windowed += 1
 
         # Self-loops were rejected by the window above, so uid != vid.
-        base = Match(frozenset((ekey,)), root, {uid: 1, vid: 1})
-        existing = sorted(
-            self.matchlist.matches_at(uid) | self.matchlist.matches_at(vid),
-            key=Match.sort_key,
-        )
+        base_edges = frozenset((ekey,))
+        base = Match(base_edges, root, self._support[root], {uid: 1, vid: 1})
+        by_vertex = self._ml_by_vertex
+        bucket_u = by_vertex.get(uid)
+        bucket_v = by_vertex.get(vid)
+        if bucket_u:
+            pool = (bucket_u | bucket_v) if bucket_v else bucket_u
+        else:
+            pool = bucket_v
+        if not pool:
+            existing: List[Match] = []
+        elif len(pool) == 1:
+            existing = list(pool)
+        else:
+            existing = sorted(pool, key=Match.sort_key)
 
         new_matches: List[Match] = []
+        register = self._register
         # The single-edge match is never capped: eviction relies on every
         # window edge having at least one match (its allocation handle).
-        if self._register(base, mandatory=True):
+        if register(base, mandatory=True):
             new_matches.append(base)
 
-        # -- extension: add e to every connected existing match (lines 3-8)
-        for m in existing:
-            if ekey in m.edges:
-                continue
-            extended = self._extend(m, event, uid, vid, ekey)
-            for nm in extended:
-                if self._register(nm):
-                    new_matches.append(nm)
+        # -- extension: add e to every connected existing match (lines 3-8),
+        #    inlined — this loop runs per (windowed edge, touching match).
+        #    ekey is newly windowed, so no existing match contains it.
+        if existing:
+            extensible = self._extensible
+            support = self._support
+            delta_memo = self._delta_memo
+            delta_slow = self._delta_slow
+            successors = self._successors
+            shift = self._delta_shift
+            leaf_skips = 0
+            probes = 0
+            for m in existing:
+                m_state = m.state
+                if not extensible[m_state]:
+                    leaf_skips += 1
+                    continue  # leaf motif: no successor could absorb the edge
+                degrees = m._degrees
+                du = degrees.get(uid, 0)
+                dv = degrees.get(vid, 0)
+                delta = delta_memo.get((lu, lv, du, dv))
+                if delta is None:
+                    delta = delta_slow(lu, lv, du, dv)
+                if delta < 0:
+                    continue  # this factor triple keys no successor anywhere
+                probes += 1
+                children = successors.get((m_state << shift) | delta)
+                if children is None:
+                    continue
+                extended_edges = m.edges | base_edges
+                new_degrees = dict(degrees)
+                new_degrees[uid] = du + 1
+                new_degrees[vid] = dv + 1
+                for child in children:
+                    nm = Match(extended_edges, child, support[child], new_degrees)
+                    if register(nm):
+                        new_matches.append(nm)
+            stats.leaf_gate_skips += leaf_skips
+            stats.extension_probes += probes
 
         # -- pair joins (lines 11-18): merge a match containing e with a
         #    match on the other side.  Every motif match M ∋ e decomposes as
-        #    (component at u) + e + (component at v), so joining each new
-        #    match with each pre-existing one is exhaustive.  Joins only
-        #    exist when some motif outgrows the largest match seen so far,
-        #    so size-gate the quadratic loop.
+        #    (component at u) + e + (component at v); extension created
+        #    C + e for every component C touching either endpoint, so
+        #    joining each *extension product* with each pre-existing match
+        #    is exhaustive.  The single-edge base match is excluded from
+        #    the frontier: base + C is the same edge set as C + e — the
+        #    same signature, hence the same plan state — so every base
+        #    join replays an extension verbatim.  Joins only exist when
+        #    some motif outgrows the largest match seen so far, so
+        #    size-gate the quadratic loop.  The one-edge-remaining case
+        #    dominates and is inlined (no recursion, no degree-map copy on
+        #    the failure paths).
         if existing and new_matches:
-            max_edges = self.index.max_motif_edges
-            extensible = self.index.extensible_ids
+            max_edges = self._max_motif_edges
+            labels = self.window._labels
             frontier = [
                 m
                 for m in new_matches
-                if len(m.edges) < max_edges and m.node.node_id in extensible
+                if 1 < len(m.edges) < max_edges and extensible[m.state]
             ]
+            probes = 0
+            joins = 0
             while frontier:
                 produced: List[Match] = []
                 for m_new in frontier:
                     n_new = len(m_new.edges)
+                    m_new_edges = m_new.edges
+                    m_new_degrees = m_new._degrees
+                    state = m_new.state
+                    tried: Set[EdgeSet] = set()
                     for m_old in existing:
-                        remaining = m_old.edges - m_new.edges
+                        remaining = m_old.edges - m_new_edges
                         if not remaining:
                             continue
                         if n_new + len(remaining) > max_edges:
                             continue
-                        joined = self._grow(
-                            m_new.edges, m_new.node, remaining, dict(m_new._degrees)
-                        )
-                        if joined is not None and self._register(joined):
+                        # Distinct m_old with equal remainders attempt the
+                        # same (deterministic) growth; first one decides.
+                        if remaining in tried:
+                            continue
+                        tried.add(remaining)
+                        if len(remaining) == 1:
+                            # Inlined single-step _grow: the added edge must
+                            # be incident and cross a successor; the first
+                            # successor wins, as in the recursive search.
+                            (e2,) = remaining
+                            u = e2 >> EDGE_SHIFT
+                            v = e2 & EDGE_MASK
+                            du = m_new_degrees.get(u, 0)
+                            dv = m_new_degrees.get(v, 0)
+                            if not du and not dv:
+                                continue
+                            delta = delta_memo.get((labels[u], labels[v], du, dv))
+                            if delta is None:
+                                delta = delta_slow(labels[u], labels[v], du, dv)
+                            if delta < 0:
+                                continue
+                            probes += 1
+                            children = successors.get((state << shift) | delta)
+                            if children is None:
+                                continue
+                            degrees = dict(m_new_degrees)
+                            degrees[u] = du + 1
+                            degrees[v] = dv + 1
+                            child = children[0]
+                            joined = Match(
+                                m_new_edges | {e2}, child, support[child], degrees
+                            )
+                        else:
+                            joined = self._grow(
+                                m_new_edges,
+                                state,
+                                tuple(sorted(remaining)),
+                                m_new_degrees,
+                                owned=False,
+                            )
+                        if joined is not None and register(joined):
                             produced.append(joined)
-                            self.stats["pair_joins"] += 1
+                            joins += 1
                 frontier = [
-                    m
-                    for m in produced
-                    if len(m.edges) < max_edges and m.node.node_id in extensible
+                    m for m in produced if len(m.edges) < max_edges and extensible[m.state]
                 ]
+            stats.extension_probes += probes
+            stats.pair_joins += joins
         return True
 
     def _register(self, match: Match, mandatory: bool = False) -> bool:
-        if not mandatory:
-            by_vertex = self.matchlist._by_vertex
-            cap = self.max_matches_per_vertex
-            for vid in match.vertices:
-                bucket = by_vertex.get(vid)
-                if bucket is not None and len(bucket) >= cap:
-                    self.stats["capped_registrations"] += 1
-                    return False
-        if self.matchlist.add(match):
-            self.stats["matches_created"] += 1
-            return True
-        return False
-
-    def _extend(
-        self, m: Match, event: EdgeEvent, uid: int, vid: int, ekey: int
-    ) -> List[Match]:
-        """Matches formed by adding ``event``'s edge to match ``m``."""
-        if m.node.node_id not in self.index.extensible_ids:
-            return []  # leaf motif: no child could absorb the edge
-        delta_key = self.index.scheme.addition_key(
-            event.u_label,
-            event.v_label,
-            m.degree_of(uid),
-            m.degree_of(vid),
-        )
-        children = self.index.motif_children_by_key(m.node, delta_key)
-        if not children:
-            return []
-        edges = m.edges | {ekey}
-        degrees = dict(m._degrees)
-        degrees[uid] = degrees.get(uid, 0) + 1
-        degrees[vid] = degrees.get(vid, 0) + 1
-        return [Match(edges, child, degrees) for child in children]
+        # Inlined MatchList.add fused with the per-vertex cap: duplicates
+        # are rejected up front (a duplicate is already registered, so the
+        # cap holds for it by construction), then a single pass inserts
+        # while checking bucket sizes, rolling back on a cap hit (rare —
+        # the cap is generous, so the success path pays one pass only).
+        all_matches = self._ml_all
+        if match in all_matches:
+            return False
+        by_vertex = self._ml_by_vertex
+        cap = -1 if mandatory else self.max_matches_per_vertex
+        inserted = 0
+        for vid in match.vertices:
+            bucket = by_vertex.get(vid)
+            if bucket is None:
+                by_vertex[vid] = {match}
+            elif cap < 0 or len(bucket) < cap:
+                bucket.add(match)
+            else:
+                # Cap hit: undo this match's inserts (bucket sizes are
+                # pre-insert sizes for every vertex either way, so the
+                # verdict is identical to a check-then-insert pass).
+                for undo_vid in match.vertices:
+                    if inserted == 0:
+                        break
+                    undo_bucket = by_vertex.get(undo_vid)
+                    if undo_bucket is not None and match in undo_bucket:
+                        undo_bucket.discard(match)
+                        if not undo_bucket:
+                            del by_vertex[undo_vid]
+                        inserted -= 1
+                self.stats.capped_registrations += 1
+                return False
+            inserted += 1
+        all_matches.add(match)
+        by_edge = self._ml_by_edge
+        for ekey in match.edges:
+            bucket = by_edge.get(ekey)
+            if bucket is None:
+                by_edge[ekey] = {match}
+            else:
+                bucket.add(match)
+        self.stats.matches_created += 1
+        return True
 
     def _grow(
         self,
         edges: EdgeSet,
-        node: TrieNode,
-        remaining: FrozenSet[int],
-        degrees: Optional[Dict[int, int]] = None,
+        state: int,
+        remaining: Tuple[int, ...],
+        degrees: Dict[int, int],
+        owned: bool = True,
     ) -> Optional[Match]:
         """Grow a match by ``remaining`` edges one at a time (Alg. 2 lines
-        13-18); ``None`` unless *all* of them can be added through motif
-        trie children.
+        13-18); ``None`` unless *all* of them can be added through plan
+        successors.
 
-        ``degrees`` is threaded through the backtracking search (mutated
-        on descent, undone on a failed branch) instead of being rebuilt
-        from the edge set at every level; on success the final map is
-        handed to the :class:`Match` as-is — every frame up the success
-        path returns immediately, so nothing mutates it afterwards.
+        ``remaining`` arrives as a sorted tuple of packed keys (the caller
+        sorts once; slicing preserves the order down the recursion, so the
+        edge order is identical to re-sorting at every level).  ``degrees``
+        is threaded through the backtracking search (mutated on descent,
+        undone on a failed branch) instead of being rebuilt from the edge
+        set at every level; on success the final map is handed to the
+        :class:`Match` as-is — every frame up the success path returns
+        immediately, so nothing mutates it afterwards.  The top-level
+        caller passes ``owned=False`` to lend the source match's live map:
+        it is copied only if a descent actually mutates it, so failed join
+        attempts (the overwhelming majority) allocate nothing.
         """
         if not remaining:
-            return Match(edges, node, degrees)
-        if node.node_id not in self.index.extensible_ids:
-            return None  # leaf motif: no edge can be added through the trie
-        if degrees is None:
-            degrees = dict(_edge_set_degrees(edges))
-        label_id = self.window.label_id
-        addition_key = self.index.scheme.addition_key
-        motif_children = self.index.motif_children_by_key
-        for e2 in sorted(remaining):  # packed keys: (min_id, max_id) order
+            return Match(edges, state, self._support[state], degrees)
+        if not self._extensible[state]:
+            self.stats.leaf_gate_skips += 1
+            return None  # leaf motif: no edge can be added through the plan
+        labels = self.window._labels
+        delta_memo = self._delta_memo
+        delta_slow = self._delta_slow
+        successors = self._successors
+        shift = self._delta_shift
+        stats = self.stats
+        for i, e2 in enumerate(remaining):  # packed keys: (min_id, max_id) order
             u = e2 >> EDGE_SHIFT
             v = e2 & EDGE_MASK
             du = degrees.get(u, 0)
             dv = degrees.get(v, 0)
             if not du and not dv:
                 continue  # not incident yet; a different order may reach it
-            children = motif_children(
-                node, addition_key(label_id(u), label_id(v), du, dv)
-            )
-            if not children:
+            delta = delta_memo.get((labels[u], labels[v], du, dv))
+            if delta is None:
+                delta = delta_slow(labels[u], labels[v], du, dv)
+            if delta < 0:
                 continue
+            stats.extension_probes += 1
+            children = successors.get((state << shift) | delta)
+            if children is None:
+                continue
+            if not owned:
+                degrees = dict(degrees)
+                owned = True
             degrees[u] = du + 1
             degrees[v] = dv + 1
-            rest = remaining - {e2}
+            rest = remaining[:i] + remaining[i + 1 :]
             grown = edges | {e2}
             for child in children:
                 result = self._grow(grown, child, rest, degrees)
@@ -478,6 +679,11 @@ class StreamMatcher:
             (vertex(ekey >> EDGE_SHIFT), vertex(ekey & EDGE_MASK))
             for ekey in match.edges
         ]
+
+    def resolve_node(self, match: Match):
+        """The object-DAG trie node behind a match's plan state (debug
+        boundary; pairs with ``plan.node_of``)."""
+        return self.plan.node_of(match.state)
 
 
 def _edge_set_degrees(edges: Iterable[int]) -> Dict[int, int]:

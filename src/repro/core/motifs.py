@@ -11,14 +11,25 @@ loops:
 
 * *single-edge lookup*: label pair → motif node (or ``None``),
 * *extension lookup*: (motif node, factor delta) → motif children.
+
+This is the **object-level** view — nodes, string labels, tuple keys —
+used for construction, introspection and tests.  The stream matcher does
+not consume it directly: :meth:`MotifIndex.compile` lowers it once into a
+flat integer :class:`~repro.core.plan.MotifPlan` (dense state ids, interned
+labels, packed delta keys), and Alg. 2 runs on that.  The two views answer
+identically — the plan is a representation change, not a semantic one.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.signature import FactorMultiset, SignatureScheme
 from repro.core.tpstry import DeltaKey, TPSTry, TrieNode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.plan import MotifPlan
+    from repro.graph.interning import LabelInterner
 
 LabelPair = Tuple[str, str]
 
@@ -110,6 +121,21 @@ class MotifIndex:
 
     def support(self, node: TrieNode) -> float:
         return node.support
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def compile(self, labels: Optional["LabelInterner"] = None) -> "MotifPlan":
+        """Lower this index into a flat integer :class:`MotifPlan`.
+
+        Cheap relative to trie construction; rebuild after workload drift
+        (``TPSTry.apply_workload_frequencies`` + a fresh index) to refresh
+        the matcher's compiled form.  ``labels`` lets callers share one
+        label-id space across recompiles.
+        """
+        from repro.core.plan import MotifPlan
+
+        return MotifPlan(self, labels=labels)
 
     # ------------------------------------------------------------------
     # Introspection

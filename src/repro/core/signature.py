@@ -132,6 +132,25 @@ class FactorMultiset:
 EMPTY_SIGNATURE = FactorMultiset()
 
 
+def pack_delta_key(key: Tuple[int, ...], factor_bits: int) -> int:
+    """Pack a sorted factor-key tuple into one integer.
+
+    Each factor lies in ``[1, p]`` and therefore fits in
+    :attr:`SignatureScheme.factor_bits` bits, so concatenating the factors
+    high-to-low is collision-free: two distinct keys (even of different
+    lengths — factors are never zero, so the leading factor of a longer key
+    always outgrows any shorter packing) produce distinct integers.  The
+    compiled :class:`~repro.core.plan.MotifPlan` keys its flat delta and
+    root tables with these packed ints; a single small-int dict probe
+    replaces the tuple-of-tuples hashing of the object
+    :class:`~repro.core.motifs.MotifIndex` on the matcher's hot path.
+    """
+    packed = 0
+    for f in key:
+        packed = (packed << factor_bits) | f
+    return packed
+
+
 class SignatureScheme:
     """Factor arithmetic for a fixed prime ``p`` and per-label random values.
 
@@ -165,6 +184,12 @@ class SignatureScheme:
         self._pool_next = 0
         for label in sorted(set(labels)):
             self._assign(label)
+
+    @property
+    def factor_bits(self) -> int:
+        """Bits needed for one factor (factors lie in ``[1, p]``) — the
+        per-factor field width of :func:`pack_delta_key`."""
+        return self.p.bit_length()
 
     # -- label values ----------------------------------------------------
     def _assign(self, label: str) -> int:

@@ -19,21 +19,31 @@ Construction follows Alg. 1 in spirit: each query graph is "rebuilt" from
 every edge, growing connected sub-graphs one incident edge at a time and
 computing signatures incrementally.  We deduplicate sub-graphs by edge set,
 so each connected sub-graph of a query is visited exactly once per query.
+
+The object DAG built here is the **construction and debug representation**.
+The stream matcher does not walk it: :meth:`TPSTry.compile` (or
+:meth:`~repro.core.motifs.MotifIndex.compile`) lowers the support-filtered
+trie into a flat, integer-keyed :class:`~repro.core.plan.MotifPlan` once
+per workload, and Alg. 2 runs entirely on that compiled form.  Node ids are
+**per-trie** (the root is always 0, ids are dense in construction order),
+so two tries built from the same workload carry identical ids regardless of
+how many tries the process built before — a property the plan's dense state
+renumbering and every id-keyed ordering rely on.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.core.signature import EMPTY_SIGNATURE, FactorMultiset, SignatureScheme
 from repro.graph.labelled_graph import Edge, LabelledGraph, Vertex, normalize_edge
 from repro.query.workload import Workload
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (plan imports motifs)
+    from repro.core.plan import MotifPlan
+
 DeltaKey = Tuple[int, ...]
 EdgeSet = FrozenSet[Edge]
-
-_node_counter = itertools.count()
 
 
 class TrieNode:
@@ -50,8 +60,18 @@ class TrieNode:
         "parents",
     )
 
-    def __init__(self, signature: FactorMultiset, exemplar: LabelledGraph, num_edges: int) -> None:
-        self.node_id: int = next(_node_counter)
+    def __init__(
+        self,
+        signature: FactorMultiset,
+        exemplar: LabelledGraph,
+        num_edges: int,
+        node_id: int,
+    ) -> None:
+        #: Dense id within the owning trie (root = 0, then construction
+        #: order).  Assigned by :class:`TPSTry`, never by a global counter:
+        #: cross-instance-coupled ids would make any ordering keyed on them
+        #: depend on how many tries the process happened to build earlier.
+        self.node_id: int = node_id
         self.signature = signature
         self.exemplar = exemplar
         self.num_edges = num_edges
@@ -96,7 +116,8 @@ class TPSTry:
 
     def __init__(self, scheme: SignatureScheme) -> None:
         self.scheme = scheme
-        self.root = TrieNode(EMPTY_SIGNATURE, LabelledGraph("ε"), 0)
+        self._next_node_id = 0
+        self.root = TrieNode(EMPTY_SIGNATURE, LabelledGraph("ε"), 0, self._take_node_id())
         self.root.support = 1.0  # the empty graph occurs in every query
         self._nodes: Dict[Tuple[int, ...], TrieNode] = {EMPTY_SIGNATURE.key: self.root}
         self._queries_added = 0
@@ -211,12 +232,34 @@ class TPSTry:
         """The per-query frequencies currently reflected in the supports."""
         return {name: freq for name, (freq, _sigs) in self._query_signatures.items()}
 
+    def _take_node_id(self) -> int:
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        return node_id
+
     def _ensure_node(self, sig: FactorMultiset, pattern: LabelledGraph, edge_set: EdgeSet) -> TrieNode:
         node = self._nodes.get(sig.key)
         if node is None:
-            node = TrieNode(sig, pattern.edge_subgraph(edge_set), len(edge_set))
+            node = TrieNode(sig, pattern.edge_subgraph(edge_set), len(edge_set), self._take_node_id())
             self._nodes[sig.key] = node
         return node
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def compile(self, threshold: float = 0.4) -> "MotifPlan":
+        """Lower the support-filtered trie into a flat integer automaton.
+
+        Convenience over ``MotifIndex(self, threshold).compile()``: builds
+        the support-filtered :class:`~repro.core.motifs.MotifIndex` view
+        and emits the :class:`~repro.core.plan.MotifPlan` the stream
+        matcher executes.  The object DAG stays untouched (construction /
+        debug / drift updates); recompile after
+        :meth:`apply_workload_frequencies` to refresh the plan.
+        """
+        from repro.core.motifs import MotifIndex
+
+        return MotifIndex(self, threshold).compile()
 
     # ------------------------------------------------------------------
     # Lookup

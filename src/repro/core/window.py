@@ -12,14 +12,18 @@ are placed immediately), so they do not displace older edges — exactly the
 behaviour described at the start of Sec. 4.
 
 The window runs entirely on interned integer ids: edges are keyed by
-packed id pairs (:func:`~repro.graph.interning.pack_edge`) and the window
-"graph" is an id-keyed adjacency plus an id → label map.  Vertex objects
-appear only inside the buffered :class:`~repro.graph.stream.EdgeEvent`\\ s
-(the allocator needs them back at the public boundary) and in
-:meth:`to_labelled_graph`, the materialised view used by snapshot queries
-and tests.  Nothing in here orders or hashes vertex *objects*, which is
-what makes the matcher's behaviour independent of ``PYTHONHASHSEED`` and
-of whether vertices define a value-based ``repr``.
+packed id pairs (:func:`~repro.graph.interning.pack_edge`), the window
+"graph" is an id-keyed adjacency, and — since the motif-plan compile — the
+id → label map holds **label ids** from a shared
+:class:`~repro.graph.interning.LabelInterner`, so label comparisons and the
+matcher's delta probes are integer operations.  Vertex objects and label
+strings appear only inside the buffered
+:class:`~repro.graph.stream.EdgeEvent`\\ s (the allocator needs them back at
+the public boundary), in error messages, and in :meth:`to_labelled_graph`,
+the materialised view used by snapshot queries and tests.  Nothing in here
+orders or hashes vertex *objects*, which is what makes the matcher's
+behaviour independent of ``PYTHONHASHSEED`` and of whether vertices define
+a value-based ``repr``.
 
 Cluster allocation can remove *multiple* edges at once (a motif match
 cluster leaves together), so removal by edge key is O(1): the FIFO is an
@@ -30,14 +34,17 @@ A re-arrival of a buffered edge is ignored (it adds nothing to match),
 stream, and it raises :class:`LabelConflictError` instead of being dropped
 silently.  The same check rejects an edge that relabels a vertex already
 held by the window, mirroring :class:`~repro.graph.labelled_graph.LabelledGraph`'s
-immutable-label rule.
+immutable-label rule.  Caller-supplied vertex ids are bounds-checked
+against the interner: an id the interner never handed out would silently
+corrupt the id → label map and the adjacency, so it raises ``ValueError``
+naming the offending id instead.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.graph.interning import VertexInterner, pack_edge, unpack_edge
+from repro.graph.interning import LabelInterner, VertexInterner, pack_edge, unpack_edge
 from repro.graph.labelled_graph import LabelledGraph, Vertex
 from repro.graph.stream import EdgeEvent
 
@@ -49,24 +56,33 @@ class LabelConflictError(ValueError):
 class SlidingWindow:
     """A fixed-capacity FIFO of edge events plus their graph (``Ptemp``)."""
 
-    __slots__ = ("capacity", "interner", "_events", "_adj", "_labels")
+    __slots__ = ("capacity", "interner", "labels", "_events", "_adj", "_labels")
 
-    def __init__(self, capacity: int, interner: Optional[VertexInterner] = None) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        interner: Optional[VertexInterner] = None,
+        labels: Optional[LabelInterner] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("window capacity must be at least 1")
         self.capacity = capacity
         #: Vertex ↔ id bijection.  The matcher shares the partition state's
         #: interner here so window ids agree with assignment-vector ids.
         self.interner = interner if interner is not None else VertexInterner()
+        #: Label ↔ id bijection.  The matcher passes its plan's interner so
+        #: window label ids agree with the compiled plan's; a standalone
+        #: window owns a private one.
+        self.labels = labels if labels is not None else LabelInterner()
         self._events: Dict[int, EdgeEvent] = {}  # ekey -> event, insertion-ordered
         self._adj: Dict[int, Set[int]] = {}
-        self._labels: Dict[int, str] = {}
+        self._labels: Dict[int, int] = {}  # vertex id -> label id
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def add(self, event: EdgeEvent) -> Optional[int]:
-        """Buffer ``event``, interning its endpoints here.
+        """Buffer ``event``, interning its endpoints and labels here.
 
         Convenience wrapper over :meth:`add_ids` for callers without ids in
         hand (tests, standalone matchers).  Returns the packed edge key if
@@ -76,39 +92,67 @@ class SlidingWindow:
         vid = self.interner.intern(event.v)
         return self.add_ids(event, uid, vid, pack_edge(uid, vid))
 
-    def add_ids(self, event: EdgeEvent, uid: int, vid: int, ekey: int) -> Optional[int]:
+    def add_ids(
+        self,
+        event: EdgeEvent,
+        uid: int,
+        vid: int,
+        ekey: int,
+        lu: Optional[int] = None,
+        lv: Optional[int] = None,
+    ) -> Optional[int]:
         """Buffer ``event`` under pre-interned ids (the matcher's fast path).
 
-        Returns ``ekey`` if newly buffered, ``None`` for a duplicate edge.
-        Raises ``ValueError`` for self-loops (the paper's model is simple
-        graphs, matching :class:`LabelledGraph`) and
-        :class:`LabelConflictError` when the event's labels disagree with
-        labels already held for either endpoint — including the
+        ``lu``/``lv`` are the endpoints' label ids in :attr:`labels`
+        (interned from the event when omitted).  Returns ``ekey`` if newly
+        buffered, ``None`` for a duplicate edge.  Raises ``ValueError``
+        for self-loops (the paper's model is simple graphs, matching
+        :class:`LabelledGraph`) and for vertex ids outside the interner's
+        range (a foreign id would silently corrupt the id → label map),
+        and :class:`LabelConflictError` when the event's labels disagree
+        with labels already held for either endpoint — including the
         previously-silent case of a duplicate edge arriving relabelled.
         """
         if uid == vid:
             raise ValueError(
                 f"self-loop on vertex {event.u!r} not permitted in a simple graph"
             )
+        n = len(self.interner)
+        if not 0 <= uid < n:
+            raise ValueError(
+                f"vertex id {uid} is not from this window's interner "
+                f"(valid range [0, {n}))"
+            )
+        if not 0 <= vid < n:
+            raise ValueError(
+                f"vertex id {vid} is not from this window's interner "
+                f"(valid range [0, {n}))"
+            )
+        if lu is None:
+            lu = self.labels.intern(event.u_label)
+        if lv is None:
+            lv = self.labels.intern(event.v_label)
         labels = self._labels
         held_u = labels.get(uid)
         held_v = labels.get(vid)
-        if (held_u is not None and held_u != event.u_label) or (
-            held_v is not None and held_v != event.v_label
+        if (held_u is not None and held_u != lu) or (
+            held_v is not None and held_v != lv
         ):
+            label = self.labels.label
             raise LabelConflictError(
                 f"edge {event.u!r}-{event.v!r} arrived with labels "
                 f"({event.u_label!r}, {event.v_label!r}) but the window holds "
-                f"({held_u!r}, {held_v!r}); labels are immutable while a "
-                "vertex is in Ptemp"
+                f"({label(held_u) if held_u is not None else None!r}, "
+                f"{label(held_v) if held_v is not None else None!r}); labels "
+                "are immutable while a vertex is in Ptemp"
             )
         if ekey in self._events:
             return None
         self._events[ekey] = event
         if held_u is None:
-            labels[uid] = event.u_label
+            labels[uid] = lu
         if held_v is None:
-            labels[vid] = event.v_label
+            labels[vid] = lv
         adj = self._adj
         adj.setdefault(uid, set()).add(vid)
         adj.setdefault(vid, set()).add(uid)
@@ -168,9 +212,17 @@ class SlidingWindow:
         nbrs = self._adj.get(vid)
         return len(nbrs) if nbrs is not None else 0
 
-    def label_id(self, vid: int) -> str:
-        """The label of a window vertex; raises ``KeyError`` if absent."""
+    def label_id(self, vid: int) -> int:
+        """The *label id* of a window vertex (an id in :attr:`labels`);
+        raises ``KeyError`` if the vertex is not windowed.  The matcher's
+        delta probes consume this directly; use :meth:`label_of` for the
+        string."""
         return self._labels[vid]
+
+    def label_of(self, vid: int) -> str:
+        """The label string of a window vertex (boundary twin of
+        :meth:`label_id`)."""
+        return self.labels.label(self._labels[vid])
 
     def degree_in_window(self, vertex: Vertex) -> int:
         """Vertex-keyed :meth:`degree_id` for boundary callers."""

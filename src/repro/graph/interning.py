@@ -49,6 +49,63 @@ def unpack_edge(ekey: int) -> Tuple[int, int]:
     return ekey >> EDGE_SHIFT, ekey & EDGE_MASK
 
 
+class LabelInterner:
+    """A bijection between label strings and dense integer ids.
+
+    The matcher-side twin of :class:`VertexInterner`, introduced at the
+    motif-plan compile boundary: the compiled
+    :class:`~repro.core.plan.MotifPlan` interns the workload's label
+    alphabet up front, the :class:`~repro.core.window.SlidingWindow` keeps
+    its id → label map in the same id space, and every label comparison or
+    delta-key probe on the stream is an integer operation.  Label strings
+    survive only at the boundary (events, error messages,
+    ``to_labelled_graph``).
+
+    Like vertex ids, label ids are dense, first-seen-ordered and stable;
+    streams may carry labels unseen at compile time, which intern lazily.
+    """
+
+    __slots__ = ("_ids", "_labels")
+
+    def __init__(self, labels: Iterable[str] = ()) -> None:
+        self._ids: Dict[str, int] = {}
+        self._labels: List[str] = []
+        for label in labels:
+            self.intern(label)
+
+    def intern(self, label: str) -> int:
+        """The id of ``label``, assigning the next dense id on first sight."""
+        lid = self._ids.get(label)
+        if lid is None:
+            lid = len(self._labels)
+            self._ids[label] = lid
+            self._labels.append(label)
+        return lid
+
+    def id_of(self, label: str) -> Optional[int]:
+        """The id of ``label`` if interned, else ``None`` (no insert)."""
+        return self._ids.get(label)
+
+    def label(self, lid: int) -> str:
+        """The label behind ``lid``; raises ``IndexError`` for unknown ids."""
+        if lid < 0:
+            raise IndexError(f"label id {lid} out of range")
+        return self._labels[lid]
+
+    def labels(self) -> Iterator[str]:
+        """All interned labels, in id order."""
+        return iter(self._labels)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._ids
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LabelInterner n={len(self._labels)}>"
+
+
 class VertexInterner:
     """A bijection between vertices and dense integer ids.
 

@@ -45,6 +45,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", help="write 'vertex<TAB>partition' lines here")
     parser.add_argument("--execute", action="store_true", help="also execute the workload and report ipt")
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print matcher/plan counters (plan states, root hits, extension "
+        "probes, leaf-gate skips, …) and partitioner counters to stderr",
+    )
     return parser
 
 
@@ -77,6 +83,13 @@ def main(argv: Optional[list] = None) -> int:
     quality = partition_quality_summary(graph, state)
     for key, value in quality.items():
         print(f"{key}: {value:g}", file=sys.stderr)
+    if args.stats:
+        matcher = getattr(partitioner, "matcher", None)
+        if matcher is not None:
+            for key, value in matcher.stats.as_dict().items():
+                print(f"matcher.{key}: {value}", file=sys.stderr)
+        for key, value in getattr(partitioner, "stats", {}).items():
+            print(f"partitioner.{key}: {value}", file=sys.stderr)
     if args.execute:
         if workload is None:
             print("error: --execute requires --workload", file=sys.stderr)

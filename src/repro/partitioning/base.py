@@ -40,9 +40,19 @@ class StreamingPartitioner(abc.ABC):
         return self.state.partition_of(v)
 
     def ingest_all(self, events: Iterable[EdgeEvent]) -> None:
-        for event in events:
-            self.ingest(event)
-            self.edges_ingested += 1
+        # Bind the handler and count locally: the per-event attribute
+        # reload and counter store are measurable at millions of edges per
+        # second.  The counter is flushed even when an event raises (e.g.
+        # a LabelConflictError mid-stream) so it always reflects the edges
+        # actually ingested.
+        ingest = self.ingest
+        count = 0
+        try:
+            for event in events:
+                ingest(event)
+                count += 1
+        finally:
+            self.edges_ingested += count
         self.finalize()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -370,22 +370,20 @@ class _VertexMatchView:
     :class:`LegacyEqualOpportunism` reads ``vertices`` (objects), ``edges``
     (object pairs) and ``support`` — exactly the seed's :class:`Match`
     surface.  ``ekeys`` keeps the packed keys so the glue can hand the
-    winning cluster back to the id-based window for removal.
+    winning cluster back to the id-based window for removal.  Matches now
+    carry compiled plan state ids and denormalised support, so the view
+    copies the support value straight off the match.
     """
 
-    __slots__ = ("vertices", "edges", "ekeys", "_node")
+    __slots__ = ("vertices", "edges", "ekeys", "support")
 
     def __init__(self, match, matcher) -> None:
-        self._node = match.node
+        self.support = match.support
         self.ekeys = match.edges
         self.vertices = frozenset(matcher.resolve_vertices(match))
         self.edges = frozenset(
             normalize_edge(u, v) for u, v in matcher.resolve_edges(match)
         )
-
-    @property
-    def support(self) -> float:
-        return self._node.support
 
 
 class LegacyLoomPartitioner(StreamingPartitioner):

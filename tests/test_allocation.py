@@ -26,10 +26,16 @@ def abc_node(fig1_trie):
 
 
 def id_match(state: PartitionState, node, *pairs) -> Match:
-    """A match over ``pairs`` of vertex objects, interned into ``state``."""
+    """A match over ``pairs`` of vertex objects, interned into ``state``.
+
+    The auction reads only ``vertices``/``edges``/``support`` from a match;
+    the plan state id is irrelevant here, so the trie node's own id stands
+    in for it and the node's support is denormalised as the matcher does.
+    """
     return Match(
         frozenset(pack_edge(state.intern(u), state.intern(v)) for u, v in pairs),
-        node,
+        node.node_id,
+        node.support,
     )
 
 

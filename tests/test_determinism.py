@@ -83,11 +83,18 @@ workload = Workload(
 )
 events = list(stream_edges(g, sys.argv[1], seed=3))
 state = PartitionState.for_graph(4, g.num_vertices)
-LoomPartitioner(state, workload, window_size=40, seed=0).ingest_all(events)
+loom = LoomPartitioner(state, workload, window_size=40, seed=0)
+loom.ingest_all(events)
 
 assignment = sorted((v.tag, p) for v, p in state.assignment().items())
 stream_tags = [(ev.u.tag, ev.v.tag) for ev in events]
-print(json.dumps({"stream": stream_tags, "assignment": assignment}))
+print(json.dumps({
+    "stream": stream_tags,
+    "assignment": assignment,
+    # Matcher/plan counters must be equally hash-seed-independent: a stats
+    # divergence would reveal an ordering leak even if assignments agree.
+    "matcher_stats": loom.matcher.stats.as_dict(),
+}))
 """
 
 
@@ -114,5 +121,8 @@ def test_loom_assignments_invariant_under_hashseed(order):
     runs = [_run_pipeline(order, seed) for seed in (1, 2, 4242)]
     assert runs[0]["stream"] == runs[1]["stream"] == runs[2]["stream"]
     assert runs[0]["assignment"] == runs[1]["assignment"] == runs[2]["assignment"]
+    assert (
+        runs[0]["matcher_stats"] == runs[1]["matcher_stats"] == runs[2]["matcher_stats"]
+    )
     # Sanity: the pass actually placed the whole graph.
     assert len(runs[0]["assignment"]) == 60

@@ -27,12 +27,15 @@ def ek(matcher: StreamMatcher, u, v) -> int:
 
 
 def match_shapes(matcher: StreamMatcher, vertex):
-    """The {(edge-set, motif-label-multiset)} view of matchList[vertex]."""
+    """The {(edge-set, motif-label-multiset)} view of matchList[vertex].
+
+    Matches carry plan state ids; the exemplar is reached through the
+    plan's debug boundary (``resolve_node``)."""
     vid = matcher.interner.id_of(vertex)
     if vid is None:
         return set()
     return {
-        (m.edges, tuple(sorted(m.node.exemplar.labels().values())))
+        (m.edges, tuple(sorted(matcher.resolve_node(m).exemplar.labels().values())))
         for m in matcher.matchlist.matches_at(vid)
     }
 
@@ -85,7 +88,7 @@ class TestFigure5Scenario:
         abab = (frozenset([e1, e2, e5]), ("a", "a", "b", "b"))
         for vertex in (1, 2, 3, 4):
             assert abab in match_shapes(m, vertex)
-        assert m.stats["pair_joins"] >= 1
+        assert m.stats.pair_joins >= 1
 
     def test_eviction_order_and_me(self, fig5_workload):
         m = build_matcher(fig5_workload)
@@ -107,7 +110,7 @@ class TestGate:
         m = build_matcher(fig1_workload)
         assert not m.offer(EdgeEvent(1, "c", 2, "d"))  # c-d: 10% support
         assert m.pending() == 0
-        assert m.stats["edges_bypassed"] == 1
+        assert m.stats.edges_bypassed == 1
 
     def test_unknown_labels_bypass(self, fig1_workload):
         m = build_matcher(fig1_workload)
@@ -125,7 +128,7 @@ class TestGate:
         m.offer(EdgeEvent(1, "a", 2, "b"))
         with pytest.raises(LabelConflictError):
             m.offer(EdgeEvent(1, "b", 2, "a"))
-        assert m.stats["label_conflicts"] == 1
+        assert m.stats.label_conflicts == 1
         assert m.pending() == 1
 
 
@@ -169,7 +172,7 @@ class TestMatchInvariants:
             assert sub.is_connected()
             assert nx.is_isomorphic(
                 sub.to_networkx(),
-                match.node.exemplar.to_networkx(),
+                m.resolve_node(match).exemplar.to_networkx(),
                 node_match=categorical_node_match("label", None),
             )
 
@@ -183,7 +186,7 @@ class TestMatchInvariants:
             vid = m.interner.id_of(v)
             multi = [x for x in m.matchlist.matches_at(vid) if x.num_edges > 1]
             assert not multi
-        assert m.stats["capped_registrations"] > 0
+        assert m.stats.capped_registrations > 0
 
     def test_cap_validation(self, fig5_workload):
         with pytest.raises(ValueError):
@@ -191,33 +194,30 @@ class TestMatchInvariants:
 
 
 class TestMatchAndMatchList:
-    def test_match_equality_and_hash(self, fig1_index):
-        node = fig1_index.single_edge_motif("a", "b")
+    def test_match_equality_and_hash(self):
         e = pack_edge(1, 2)
-        assert Match(frozenset([e]), node) == Match(frozenset([e]), node)
-        assert len({Match(frozenset([e]), node), Match(frozenset([e]), node)}) == 1
+        assert Match(frozenset([e]), 0, 1.0) == Match(frozenset([e]), 0, 1.0)
+        assert Match(frozenset([e]), 0, 1.0) != Match(frozenset([e]), 1, 1.0)
+        assert len({Match(frozenset([e]), 0, 1.0), Match(frozenset([e]), 0, 1.0)}) == 1
 
-    def test_match_degree_of(self, fig1_index):
-        node = fig1_index.single_edge_motif("a", "b")
-        match = Match(frozenset([pack_edge(1, 2), pack_edge(2, 3)]), node)
+    def test_match_degree_of(self):
+        match = Match(frozenset([pack_edge(1, 2), pack_edge(2, 3)]), 0, 1.0)
         assert match.degree_of(2) == 2
         assert match.degree_of(1) == 1
         assert match.degree_of(9) == 0
 
-    def test_sort_key_is_integer_based(self, fig1_index):
+    def test_sort_key_is_integer_based(self):
         """No repr() strings on the hot path: tie-breaks compare packed ids."""
-        node = fig1_index.single_edge_motif("a", "b")
-        match = Match(frozenset([pack_edge(2, 1), pack_edge(2, 3)]), node)
+        match = Match(frozenset([pack_edge(2, 1), pack_edge(2, 3)]), 0, 0.7)
         support, size, ties = match.sort_key()
-        assert support == -node.support
+        assert support == -0.7
         assert size == 2
         assert ties == (pack_edge(1, 2), pack_edge(2, 3))
 
-    def test_matchlist_indexes(self, fig1_index):
+    def test_matchlist_indexes(self):
         ml = MatchList()
-        node = fig1_index.single_edge_motif("a", "b")
         e = pack_edge(1, 2)
-        match = Match(frozenset([e]), node)
+        match = Match(frozenset([e]), 0, 1.0)
         assert ml.add(match)
         assert not ml.add(match)  # duplicate
         assert ml.matches_at(1) == {match}
@@ -226,11 +226,10 @@ class TestMatchAndMatchList:
         assert ml.matches_at(1) == set()
         assert len(ml) == 0
 
-    def test_drop_edges_returns_dropped(self, fig1_index):
+    def test_drop_edges_returns_dropped(self):
         ml = MatchList()
-        node = fig1_index.single_edge_motif("a", "b")
         e1, e2 = pack_edge(1, 2), pack_edge(3, 4)
-        m1, m2 = Match(frozenset([e1]), node), Match(frozenset([e2]), node)
+        m1, m2 = Match(frozenset([e1]), 0, 1.0), Match(frozenset([e2]), 0, 1.0)
         ml.add(m1)
         ml.add(m2)
         dropped = ml.drop_edges([e1])

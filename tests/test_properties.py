@@ -80,7 +80,7 @@ def test_property_matcher_is_complete(seed, n_edges):
     actual = {
         (
             frozenset(normalize_edge(u, v) for u, v in matcher.resolve_edges(m)),
-            m.node.node_id,
+            matcher.resolve_node(m).node_id,
         )
         for m in matcher.matchlist.all_matches()
     }

@@ -129,6 +129,33 @@ class TestConstruction:
             fig1_trie.motif_nodes(1.5)
 
 
+class TestNodeIds:
+    """Node ids are per-trie, not process-global (the seed's module-level
+    counter made ids depend on how many tries were built earlier)."""
+
+    def _workload(self):
+        return Workload(
+            [
+                (path_pattern(["a", "b", "a", "b"], name="abab"), 0.5),
+                (path_pattern(["a", "b", "c"], name="abc"), 0.5),
+            ]
+        )
+
+    def test_two_tries_from_same_workload_carry_identical_ids(self):
+        first = TPSTry.from_workload(self._workload())
+        second = TPSTry.from_workload(self._workload())  # built *after* first
+        ids_first = {n.signature.key: n.node_id for n in first.nodes(include_root=True)}
+        ids_second = {n.signature.key: n.node_id for n in second.nodes(include_root=True)}
+        assert ids_first == ids_second
+
+    def test_root_is_zero_and_ids_are_dense(self):
+        TPSTry.from_workload(self._workload())  # shift any global counter
+        trie = TPSTry.from_workload(self._workload())
+        assert trie.root.node_id == 0
+        ids = sorted(n.node_id for n in trie.nodes(include_root=True))
+        assert ids == list(range(trie.num_nodes + 1))
+
+
 class TestEnumerationCompleteness:
     def test_all_connected_subgraphs_present(self):
         """Every connected edge-sub-graph of a 4-edge query appears."""

@@ -45,6 +45,28 @@ class TestBuffering:
         with pytest.raises(ValueError):
             SlidingWindow(0)
 
+    def test_foreign_vertex_id_rejected(self):
+        """A caller-supplied id the interner never handed out must not
+        corrupt the id → label map: it raises, naming the offending id."""
+        from repro.graph.interning import pack_edge
+
+        w = SlidingWindow(3)
+        uid = w.interner.intern(1)
+        with pytest.raises(ValueError, match="99"):
+            w.add_ids(ev(1, "a", 2, "b"), uid, 99, pack_edge(uid, 99))
+        with pytest.raises(ValueError, match="-1"):
+            w.add_ids(ev(1, "a", 2, "b"), -1, uid, pack_edge(0, uid))
+        assert len(w) == 0
+
+    def test_valid_pre_interned_ids_accepted(self):
+        from repro.graph.interning import pack_edge
+
+        w = SlidingWindow(3)
+        uid = w.interner.intern(1)
+        vid = w.interner.intern(2)
+        assert w.add_ids(ev(1, "a", 2, "b"), uid, vid, pack_edge(uid, vid)) is not None
+        assert len(w) == 1
+
     def test_self_loop_rejected(self):
         """Simple-graph model, as in the seed's graph-backed window."""
         w = SlidingWindow(3)
@@ -60,7 +82,8 @@ class TestBuffering:
         assert w.num_vertices == 3
         assert len(w) == 2
         vid3 = w.interner.id_of(3)
-        assert w.label_id(vid3) == "c"
+        assert w.label_of(vid3) == "c"
+        assert w.label_id(vid3) == w.labels.id_of("c")
         assert w.degree_in_window(2) == 2
         assert w.degree_in_window(99) == 0
 

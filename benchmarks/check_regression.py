@@ -1,0 +1,120 @@
+"""Gate CI on the benchmark numbers it already produces.
+
+Every benchmark script in this directory writes a JSON payload whose
+result rows carry ``gain_vs_baseline`` — current throughput over the
+previously committed baseline's — whenever it was run with a comparable
+``--baseline``.  CI has always *computed* those numbers; this script makes
+them gate: it reads one or more bench JSONs, prints a per-system delta
+table, and exits 1 when any gain falls below the threshold (default
+0.85×, i.e. a >15% slowdown fails the build).
+
+Rows are discovered by walking the ``results`` tree recursively, so all
+three payload shapes work unchanged: ``bench_throughput`` (flat per-system
+rows), ``bench_matcher`` (one row), ``bench_scaling`` (system × shard
+count).  A file whose rows carry no ``gain_vs_baseline`` at all — a
+reduced-scale smoke run against an incomparable baseline — passes with a
+note, unless ``--strict`` says that silence itself is a failure.
+
+Usage::
+
+    python benchmarks/check_regression.py /tmp/bench.json
+    python benchmarks/check_regression.py out1.json out2.json --threshold 0.9 --strict
+"""
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+
+def collect_gated_rows(node, path="") -> List[Dict]:
+    """All dicts under ``node`` carrying ``gain_vs_baseline``, labelled by
+    their path through the results tree (e.g. ``loom`` or ``loom.s4``)."""
+    rows = []
+    if isinstance(node, dict):
+        if "gain_vs_baseline" in node:
+            rows.append({"label": path or "<root>", "row": node})
+        else:
+            for key, child in node.items():
+                child_path = f"{path}.{key}" if path else str(key)
+                rows.extend(collect_gated_rows(child, child_path))
+    return rows
+
+
+def check_file(path: str, threshold: float) -> "tuple[List[Dict], List[Dict]]":
+    """Returns ``(all_rows, failing_rows)`` for one bench JSON."""
+    with open(path, "r", encoding="utf-8") as f:
+        payload = json.load(f)
+    rows = collect_gated_rows(payload.get("results", {}))
+    failures = [r for r in rows if r["row"]["gain_vs_baseline"] < threshold]
+    return rows, failures
+
+
+def render_table(path: str, rows: List[Dict], threshold: float) -> str:
+    lines = [
+        f"{path}:",
+        f"  {'system':<24} {'baseline e/s':>14} {'current e/s':>14} {'gain':>8}  status",
+    ]
+    for entry in rows:
+        row = entry["row"]
+        gain = row["gain_vs_baseline"]
+        baseline = row.get("baseline_edges_per_sec")
+        current = (
+            row.get("current_edges_per_sec")
+            or row.get("aggregate_edges_per_sec")
+            or row.get("edges_per_sec")
+        )
+        baseline_cell = f"{baseline:>14,.0f}" if baseline is not None else f"{'?':>14}"
+        current_cell = f"{current:>14,.0f}" if current is not None else f"{'?':>14}"
+        status = "ok" if gain >= threshold else f"REGRESSION (< {threshold:g}x)"
+        lines.append(
+            f"  {entry['label']:<24} {baseline_cell} {current_cell} {gain:>7.2f}x  {status}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="bench JSON payloads to gate on")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.85,
+        help="minimum acceptable gain_vs_baseline (default 0.85 = fail on >15%% slowdown)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail when a file carries no gain_vs_baseline rows at all "
+        "(catches a silently incomparable baseline config)",
+    )
+    args = parser.parse_args(argv)
+
+    exit_code = 0
+    for path in args.files:
+        try:
+            rows, failures = check_file(path, args.threshold)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable bench payload ({exc})", file=sys.stderr)
+            exit_code = 1
+            continue
+        if not rows:
+            message = f"{path}: no gain_vs_baseline rows (baseline missing or incomparable)"
+            if args.strict:
+                print(message + " — failing under --strict", file=sys.stderr)
+                exit_code = 1
+            else:
+                print(message + " — nothing to gate")
+            continue
+        print(render_table(path, rows, args.threshold))
+        if failures:
+            exit_code = 1
+    if exit_code:
+        print(
+            f"\nregression check FAILED (threshold {args.threshold:g}x)", file=sys.stderr
+        )
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

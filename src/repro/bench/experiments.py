@@ -21,7 +21,6 @@ from typing import Dict, List, Optional, Sequence
 from repro.bench.harness import (
     SYSTEMS,
     ComparisonResult,
-    compare_systems,
     run_system,
     scaled_window,
 )

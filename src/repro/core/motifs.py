@@ -22,7 +22,7 @@ identically — the plan is a representation change, not a semantic one.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.signature import FactorMultiset, SignatureScheme
 from repro.core.tpstry import DeltaKey, TPSTry, TrieNode

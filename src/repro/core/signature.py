@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import random
 from collections import Counter
-from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
 
 from repro.graph.labelled_graph import LabelledGraph
 

@@ -139,10 +139,10 @@ def _allocate_labels(
             f"need at least {len(labels)} vertices for schema {schema.name!r}, got {num_vertices}"
         )
     total_weight = sum(schema.label_weights.values())
-    counts = {l: max(1, int(num_vertices * schema.label_weights[l] / total_weight)) for l in labels}
+    counts = {lab: max(1, int(num_vertices * schema.label_weights[lab] / total_weight)) for lab in labels}
     # Fix rounding drift toward the exact total.
     drift = num_vertices - sum(counts.values())
-    order = sorted(labels, key=lambda l: -schema.label_weights[l])
+    order = sorted(labels, key=lambda lab: -schema.label_weights[lab])
     i = 0
     while drift != 0:
         label = order[i % len(order)]

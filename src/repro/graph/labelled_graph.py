@@ -149,7 +149,7 @@ class LabelledGraph:
         return set(self._labels.values())
 
     def vertices_with_label(self, label: str) -> List[Vertex]:
-        return [v for v, l in self._labels.items() if l == label]
+        return [v for v, lab in self._labels.items() if lab == label]
 
     @property
     def num_vertices(self) -> int:

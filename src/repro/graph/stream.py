@@ -18,7 +18,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterable, Iterator, List, Optional
+from typing import Iterable, Iterator, List
 
 from repro.graph.labelled_graph import Edge, LabelledGraph, Vertex, normalize_edge
 
@@ -192,6 +192,32 @@ def stream_to_graph(events: Iterable[EdgeEvent], name: str = "") -> LabelledGrap
     for ev in events:
         g.add_edge(ev.u, ev.v, ev.u_label, ev.v_label)
     return g
+
+
+def batched(events: Iterable[EdgeEvent], batch_size: int) -> Iterator[List[EdgeEvent]]:
+    """Chunk a stream into lists of at most ``batch_size`` events, in order.
+
+    The batch boundary is purely an amortisation device — batches preserve
+    the stream order exactly, so driving a partitioner batch by batch
+    (:meth:`~repro.partitioning.base.StreamingPartitioner.ingest_batch`)
+    is equivalent to driving it event by event.  This is the public helper
+    for callers driving ``ingest_batch`` by hand; the sharded runtime's
+    driver keeps its own per-shard buffers (it must route each event
+    first) with the same order-preserving semantics.  The final batch may
+    be shorter and empty streams yield nothing.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    batch: List[EdgeEvent] = []
+    append = batch.append
+    for ev in events:
+        append(ev)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+            append = batch.append
+    if batch:
+        yield batch
 
 
 def stream_prefix(events: Iterable[EdgeEvent], n: int) -> List[EdgeEvent]:

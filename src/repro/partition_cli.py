@@ -9,6 +9,11 @@ Example::
 
     python -m repro.partition_cli graph.txt --workload queries.txt \
         --system loom --k 8 --order random --window 1000 --out assignment.tsv
+
+``--shards N`` (N > 1) runs the same partitioning through the sharded
+multi-process runtime (:mod:`repro.runtime`): deterministic edge routing
+to N workers, each running a full ``--system`` partitioner over its shard,
+merged back into one assignment (``--merge-rule``).
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from repro.partitioning.metrics import partition_quality_summary
 from repro.partitioning.state import PartitionState
 from repro.query.executor import WorkloadExecutor
 from repro.query.io import read_workload
+from repro.runtime import DEFAULT_BATCH_SIZE, available_merge_rules, run_sharded
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,6 +49,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--threshold", type=float, default=0.4, help="motif support threshold T")
     parser.add_argument("--imbalance", type=float, default=1.1, help="capacity slack (= b = nu)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="worker processes; >1 runs the sharded runtime (deterministic "
+        "edge routing, per-shard partitioners, merged result)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=DEFAULT_BATCH_SIZE,
+        help="events per runtime queue message (sharded runs only)",
+    )
+    parser.add_argument(
+        "--merge-rule",
+        choices=available_merge_rules(),
+        default="lowest-shard",
+        help="cross-shard conflict resolution (sharded runs only)",
+    )
     parser.add_argument("--out", help="write 'vertex<TAB>partition' lines here")
     parser.add_argument("--execute", action="store_true", help="also execute the workload and report ipt")
     parser.add_argument(
@@ -66,29 +91,77 @@ def main(argv: Optional[list] = None) -> int:
     if workload is not None:
         print(f"workload: {workload}", file=sys.stderr)
 
-    state = PartitionState.for_graph(args.k, graph.num_vertices, args.imbalance)
+    if args.shards < 1:
+        print("error: --shards must be at least 1", file=sys.stderr)
+        return 2
+
     window = args.window if args.window is not None else scaled_window(graph)
     loom_kwargs = {"support_threshold": args.threshold} if args.system == "loom" else {}
-    partitioner = registry.create(
-        args.system,
-        state,
-        graph=graph,
-        workload=workload,
-        window_size=window,
-        seed=args.seed,
-        **loom_kwargs,
-    )
-    partitioner.ingest_all(stream_edges(graph, args.order, seed=args.seed))
+    events = stream_edges(graph, args.order, seed=args.seed)
+
+    if args.shards == 1:
+        # The established single-process path (also what a sharded run with
+        # one worker reproduces bit for bit — tests/test_runtime.py).
+        state = PartitionState.for_graph(args.k, graph.num_vertices, args.imbalance)
+        partitioner = registry.create(
+            args.system,
+            state,
+            graph=graph,
+            workload=workload,
+            window_size=window,
+            seed=args.seed,
+            **loom_kwargs,
+        )
+        partitioner.ingest_all(events)
+        matcher = getattr(partitioner, "matcher", None)
+        matcher_stats = matcher.stats.as_dict() if matcher is not None else None
+        partitioner_stats = dict(getattr(partitioner, "stats", {}))
+    else:
+        result = run_sharded(
+            events,
+            system=args.system,
+            num_shards=args.shards,
+            k=args.k,
+            expected_vertices=graph.num_vertices,
+            expected_edges=graph.num_edges,
+            workload=workload,
+            window_size=window,
+            imbalance=args.imbalance,
+            seed=args.seed,
+            batch_size=args.batch_size,
+            merge=args.merge_rule,
+            **loom_kwargs,
+        )
+        state = result.state
+        print(
+            f"shards: {args.shards}, edges per shard {result.shard_edge_counts()}, "
+            f"shared vertices {result.merge.shared_vertices}, "
+            f"conflicts resolved {result.merge.conflicts} ({args.merge_rule})",
+            file=sys.stderr,
+        )
+        print(
+            f"aggregate: {result.aggregate_edges_per_second:,.0f} edges/s "
+            f"({result.edges} edges in {result.wall_seconds:.2f}s)",
+            file=sys.stderr,
+        )
+        matcher_stats = None
+        partitioner_stats = {}
+        if args.stats:
+            for shard in result.shard_results:
+                if shard.matcher_stats:
+                    for key, value in shard.matcher_stats.items():
+                        print(f"shard{shard.shard_id}.matcher.{key}: {value}", file=sys.stderr)
+                for key, value in shard.partitioner_stats.items():
+                    print(f"shard{shard.shard_id}.partitioner.{key}: {value}", file=sys.stderr)
 
     quality = partition_quality_summary(graph, state)
     for key, value in quality.items():
         print(f"{key}: {value:g}", file=sys.stderr)
     if args.stats:
-        matcher = getattr(partitioner, "matcher", None)
-        if matcher is not None:
-            for key, value in matcher.stats.as_dict().items():
+        if matcher_stats is not None:
+            for key, value in matcher_stats.items():
                 print(f"matcher.{key}: {value}", file=sys.stderr)
-        for key, value in getattr(partitioner, "stats", {}).items():
+        for key, value in partitioner_stats.items():
             print(f"partitioner.{key}: {value}", file=sys.stderr)
     if args.execute:
         if workload is None:

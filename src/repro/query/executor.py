@@ -16,7 +16,7 @@ query's frequency, so a workload that is 60% q2 charges q2's crossings at
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.graph.labelled_graph import Edge, LabelledGraph
 from repro.partitioning.state import PartitionState

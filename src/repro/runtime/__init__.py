@@ -1,0 +1,52 @@
+"""Sharded multi-process streaming runtime.
+
+The first scale-out layer of the reproduction: N worker processes, each
+owning a full partitioner from the registry over a deterministic shard of
+the edge stream, fed in batches through bounded queues, merged into one
+global :class:`~repro.partitioning.state.PartitionState`.
+
+Quickstart (see ``examples/sharded_ingest.py`` for a narrated version)::
+
+    from repro.runtime import run_sharded
+
+    result = run_sharded(
+        stream_edges(graph, "bfs"),
+        system="ldg", num_shards=4, k=8,
+        expected_vertices=graph.num_vertices,
+        expected_edges=graph.num_edges,
+    )
+    result.state                      # merged global PartitionState
+    result.aggregate_edges_per_second # end-to-end throughput
+"""
+
+from repro.runtime.driver import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_QUEUE_DEPTH,
+    ShardedRunResult,
+    run_sharded,
+)
+from repro.runtime.merge import (
+    MergeOutcome,
+    available_merge_rules,
+    merge_shard_results,
+    register_merge_rule,
+)
+from repro.runtime.messages import GraphTotals, ShardResult, WorkerSpec
+from repro.runtime.sharding import ShardRouter, mix64, shard_of_edge
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_QUEUE_DEPTH",
+    "GraphTotals",
+    "MergeOutcome",
+    "ShardedRunResult",
+    "ShardResult",
+    "ShardRouter",
+    "WorkerSpec",
+    "available_merge_rules",
+    "merge_shard_results",
+    "mix64",
+    "register_merge_rule",
+    "run_sharded",
+    "shard_of_edge",
+]

@@ -1,0 +1,287 @@
+"""The sharded runtime driver: route, feed, collect, merge.
+
+``run_sharded`` is the one entry point.  It spawns ``num_shards`` worker
+processes (each owning a full partitioner from the registry over its shard
+of the stream), feeds them batches through **bounded** queues — the bound
+is the backpressure: when a worker falls behind, its queue fills and the
+driver blocks instead of buffering the stream in memory — then merges the
+shard assignment slices into one global
+:class:`~repro.partitioning.state.PartitionState`.
+
+What determinism does and does not promise here:
+
+* For a **fixed shard count** (and batch size), double runs are
+  bit-identical: routing is a pure function of the interned endpoint pair,
+  each worker is order-deterministic over its shard stream, and the merge
+  resolves vertices in driver-interner id order with a deterministic rule.
+  Queue scheduling can interleave *wall-clock* progress differently, but
+  never the content of any shard stream.
+* **Across different shard counts** assignments legitimately differ: each
+  worker sees a different neighbourhood slice, so its heuristics decide
+  differently.  ``--shards 1`` is the exception — one worker sees the
+  whole stream in order, which is why it must (and does) reproduce the
+  single-process assignment exactly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_module
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.graph.stream import EdgeEvent
+from repro.partitioning import registry
+from repro.partitioning.state import PartitionState
+from repro.runtime.merge import MergeOutcome, merge_rule, merge_shard_results
+from repro.runtime.messages import END_OF_STREAM, ShardResult, WorkerFailure, WorkerSpec
+from repro.runtime.sharding import ShardRouter
+from repro.runtime.worker import worker_main
+
+DEFAULT_BATCH_SIZE = 2048
+"""Events per queue message: large enough to amortise pickling, small
+enough that backpressure reacts within a fraction of a window."""
+
+DEFAULT_QUEUE_DEPTH = 8
+"""Batches a worker's input queue buffers before the driver blocks."""
+
+
+@dataclass
+class ShardedRunResult:
+    """Everything a ``run_sharded`` call produced."""
+
+    state: PartitionState
+    shard_results: List[ShardResult]
+    merge: MergeOutcome
+    edges: int
+    wall_seconds: float
+    feed_seconds: float
+    merge_seconds: float
+    num_shards: int
+    batch_size: int
+    config: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def aggregate_edges_per_second(self) -> float:
+        """Total stream edges over end-to-end wall time — the honest
+        number: it charges routing, queueing and merging to the runtime."""
+        return self.edges / self.wall_seconds if self.wall_seconds > 0 else float("inf")
+
+    def shard_edge_counts(self) -> List[int]:
+        return [r.edges for r in self.shard_results]
+
+
+def run_sharded(
+    events: Iterable[EdgeEvent],
+    *,
+    system: str,
+    num_shards: int,
+    k: int,
+    expected_vertices: int,
+    expected_edges: int,
+    workload: Optional[object] = None,
+    window_size: Optional[int] = None,
+    imbalance: float = 1.1,
+    seed: int = 0,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    merge: str = "lowest-shard",
+    start_method: Optional[str] = None,
+    result_timeout: float = 600.0,
+    **extra: object,
+) -> ShardedRunResult:
+    """Partition ``events`` with ``num_shards`` worker processes.
+
+    ``window_size`` is the *global* buffering budget: each worker gets
+    ``ceil(window_size / num_shards)``, so the total edges held in sliding
+    windows stays comparable to the single-process run regardless of shard
+    count (and ``--shards 1`` hands the whole budget to the one worker,
+    preserving exact parity).  ``extra`` kwargs reach the registry factory
+    untouched (e.g. Loom's ``support_threshold``).
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    if not registry.is_registered(system):
+        raise ValueError(
+            f"unknown system {system!r}; expected one of {registry.available()}"
+        )
+    merge_rule(merge)  # fail fast on a typo, before any process exists
+
+    per_shard_window = (
+        None if window_size is None else max(1, -(-window_size // num_shards))
+    )
+    ctx = mp.get_context(
+        start_method
+        if start_method is not None
+        else ("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+    )
+
+    start = time.perf_counter()
+    in_queues = [ctx.Queue(maxsize=queue_depth) for _ in range(num_shards)]
+    out_queue = ctx.Queue()
+    workers = []
+    for shard_id in range(num_shards):
+        spec = WorkerSpec(
+            shard_id=shard_id,
+            system=system,
+            k=k,
+            expected_vertices=expected_vertices,
+            expected_edges=expected_edges,
+            imbalance=imbalance,
+            window_size=per_shard_window,
+            seed=seed,
+            workload=workload,
+            extra=dict(extra),
+        )
+        process = ctx.Process(
+            target=worker_main,
+            args=(spec, in_queues[shard_id], out_queue),
+            name=f"loom-shard-{shard_id}",
+            daemon=True,
+        )
+        process.start()
+        workers.append(process)
+
+    router = ShardRouter(num_shards)
+    edges = 0
+    early: List[ShardResult] = []  # results that arrive while still feeding
+
+    def raise_failure(failure: WorkerFailure) -> None:
+        raise RuntimeError(
+            f"shard {failure.shard_id} worker failed: {failure.error}\n"
+            f"{failure.traceback}"
+        )
+
+    def put_with_liveness(shard: int, item) -> None:
+        # The put() on a full bounded queue is the backpressure point — but
+        # a queue can also be full because its worker died mid-stream.
+        # Blocking forever would turn that worker's traceback into a hang,
+        # so back off periodically and check the process is still draining.
+        while True:
+            try:
+                in_queues[shard].put(item, timeout=1.0)
+                return
+            except queue_module.Full:
+                while True:
+                    try:
+                        outcome = out_queue.get_nowait()
+                    except queue_module.Empty:
+                        break
+                    if isinstance(outcome, WorkerFailure):
+                        raise_failure(outcome)
+                    early.append(outcome)
+                if not workers[shard].is_alive():
+                    raise RuntimeError(
+                        f"shard {shard} worker died mid-stream without "
+                        "reporting a failure"
+                    )
+
+    try:
+        # Feed: intern, route, buffer, flush full buffers.
+        feed_start = time.perf_counter()
+        route = router.route
+        buffers: List[list] = [[] for _ in range(num_shards)]
+        for ev in events:
+            shard, _, _ = route(ev.u, ev.v)
+            buffer = buffers[shard]
+            buffer.append((ev.u, ev.u_label, ev.v, ev.v_label))
+            edges += 1
+            if len(buffer) >= batch_size:
+                put_with_liveness(shard, buffer)
+                buffers[shard] = []
+        for shard in range(num_shards):
+            if buffers[shard]:
+                put_with_liveness(shard, buffers[shard])
+            put_with_liveness(shard, END_OF_STREAM)
+        feed_seconds = time.perf_counter() - feed_start
+
+        # Collect: exactly one result (or failure) per worker.  Poll in
+        # short intervals so a worker that died without posting a failure
+        # (e.g. OOM-killed) surfaces as an error, not a full timeout wait.
+        results: List[ShardResult] = list(early)
+        deadline = time.monotonic() + result_timeout
+        while len(results) < num_shards:
+            try:
+                outcome = out_queue.get(timeout=min(1.0, result_timeout))
+            except queue_module.Empty:
+                reported = {r.shard_id for r in results}
+                dead = [
+                    shard
+                    for shard in range(num_shards)
+                    if shard not in reported and not workers[shard].is_alive()
+                ]
+                if dead:
+                    # One last drain: the worker may have posted its failure
+                    # and exited before the queue feeder flushed it to us.
+                    try:
+                        outcome = out_queue.get(timeout=1.0)
+                    except queue_module.Empty:
+                        raise RuntimeError(
+                            f"shard workers {dead} died without reporting a result"
+                        ) from None
+                    if isinstance(outcome, WorkerFailure):
+                        raise_failure(outcome)
+                    results.append(outcome)
+                    continue
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"sharded run timed out after {result_timeout:g}s waiting "
+                        f"for {num_shards - len(results)} of {num_shards} shard "
+                        "results"
+                    ) from None
+                continue
+            if isinstance(outcome, WorkerFailure):
+                raise_failure(outcome)
+            results.append(outcome)
+    finally:
+        # On the success path every worker has consumed its sentinel and is
+        # exiting; on an error path survivors are blocked in in_queue.get()
+        # and would hold the join for its full timeout each.  Nudge them
+        # with a best-effort sentinel first, then escalate to terminate —
+        # their results (if any) are already lost to the raised error.
+        for shard, process in enumerate(workers):
+            if process.is_alive():
+                try:
+                    in_queues[shard].put_nowait(END_OF_STREAM)
+                except queue_module.Full:
+                    pass
+        for process in workers:
+            process.join(timeout=2.0)
+        for process in workers:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=10.0)
+
+    merge_start = time.perf_counter()
+    outcome = merge_shard_results(
+        results,
+        k=k,
+        expected_vertices=expected_vertices,
+        interner=router.interner,
+        imbalance=imbalance,
+        rule=merge,
+    )
+    merge_seconds = time.perf_counter() - merge_start
+
+    return ShardedRunResult(
+        state=outcome.state,
+        shard_results=sorted(results, key=lambda r: r.shard_id),
+        merge=outcome,
+        edges=edges,
+        wall_seconds=time.perf_counter() - start,
+        feed_seconds=feed_seconds,
+        merge_seconds=merge_seconds,
+        num_shards=num_shards,
+        batch_size=batch_size,
+        config={
+            "system": system,
+            "k": k,
+            "window_size": window_size,
+            "per_shard_window": per_shard_window,
+            "seed": seed,
+            "merge": merge,
+        },
+    )

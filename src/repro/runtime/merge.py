@@ -1,0 +1,135 @@
+"""Merging shard assignment slices into one global partitioning.
+
+Edges are routed by endpoint-pair hash, so a vertex's edges spread over
+several shards and each of those shards' partitioners may have placed it —
+usually in *different* partitions (each worker saw only its slice of the
+neighbourhood).  The merge step resolves every such conflict with a
+**deterministic, pluggable rule** and replays the winning placements into
+one global :class:`~repro.partitioning.state.PartitionState` keyed by the
+driver's interner, so everything downstream (quality metrics, the
+workload executor, the CLI output) runs unchanged on the merged result.
+
+A merge rule is ``rule(vertex, claims) -> partition`` where ``claims`` is
+the non-empty list of ``(shard_id, partition)`` pairs in ascending shard
+order.  Rules must be pure functions of their arguments — no randomness,
+no iteration-order dependence — or the runtime's double-run determinism
+guarantee breaks.  Builtin rules:
+
+* ``lowest-shard`` (default) — the lowest-numbered claiming shard wins.
+  Trivially deterministic and cheap; biased toward shard 0's view.
+* ``majority`` — the partition claimed by most shards wins; ties break to
+  the claim from the lowest shard among the tied partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.graph.interning import VertexInterner
+from repro.graph.labelled_graph import Vertex
+from repro.partitioning.state import PartitionState
+from repro.runtime.messages import ShardResult
+
+MergeRule = Callable[[Vertex, List[Tuple[int, int]]], int]
+
+_MERGE_RULES: Dict[str, MergeRule] = {}
+
+
+def register_merge_rule(name: str, rule: MergeRule = None):
+    """Register a conflict-resolution rule; usable as a decorator."""
+    if not name or not isinstance(name, str):
+        raise ValueError("merge rule name must be a non-empty string")
+
+    def _register(fn: MergeRule) -> MergeRule:
+        _MERGE_RULES[name] = fn
+        return fn
+
+    if rule is not None:
+        return _register(rule)
+    return _register
+
+
+def merge_rule(name: str) -> MergeRule:
+    """Look up a registered rule by name."""
+    try:
+        return _MERGE_RULES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown merge rule {name!r}; expected one of {available_merge_rules()}"
+        ) from None
+
+
+def available_merge_rules() -> Tuple[str, ...]:
+    return tuple(_MERGE_RULES)
+
+
+@register_merge_rule("lowest-shard")
+def lowest_shard_wins(vertex: Vertex, claims: List[Tuple[int, int]]) -> int:
+    """The claim from the lowest-numbered shard wins (the default)."""
+    return claims[0][1]
+
+
+@register_merge_rule("majority")
+def majority_wins(vertex: Vertex, claims: List[Tuple[int, int]]) -> int:
+    """The partition most shards agree on; ties go to the lowest shard."""
+    votes: Dict[int, int] = {}
+    for _, partition in claims:
+        votes[partition] = votes.get(partition, 0) + 1
+    best = claims[0][1]
+    best_votes = votes[best]
+    for _, partition in claims[1:]:
+        if votes[partition] > best_votes:
+            best, best_votes = partition, votes[partition]
+    return best
+
+
+@dataclass
+class MergeOutcome:
+    """The merged global state plus what the merge had to resolve."""
+
+    state: PartitionState
+    #: Vertices claimed by more than one shard (whatever the partitions).
+    shared_vertices: int
+    #: Shared vertices whose claims actually disagreed on the partition.
+    conflicts: int
+
+
+def merge_shard_results(
+    results: List[ShardResult],
+    *,
+    k: int,
+    expected_vertices: int,
+    interner: VertexInterner,
+    imbalance: float = 1.1,
+    rule: "str | MergeRule" = "lowest-shard",
+) -> MergeOutcome:
+    """Resolve all shard claims into one global :class:`PartitionState`.
+
+    ``interner`` is the driver's router interner: it already knows every
+    endpoint in stream order, so the merged state's id space is the stream's
+    first-seen order — the same ids a single-process run would have used.
+    Vertices are resolved in that id order, making the merge independent of
+    the order results arrived in.
+    """
+    resolve = merge_rule(rule) if isinstance(rule, str) else rule
+    claims: Dict[Vertex, List[Tuple[int, int]]] = {}
+    for result in sorted(results, key=lambda r: r.shard_id):
+        shard = result.shard_id
+        for vertex, partition in result.assignment:
+            claims.setdefault(vertex, []).append((shard, partition))
+
+    state = PartitionState.for_graph(k, expected_vertices, imbalance, interner=interner)
+    shared = conflicts = 0
+    assign_id = state.assign_id
+    for vid, vertex in enumerate(interner.vertices()):
+        vertex_claims = claims.get(vertex)
+        if not vertex_claims:
+            continue
+        if len(vertex_claims) > 1:
+            shared += 1
+            first = vertex_claims[0][1]
+            if any(p != first for _, p in vertex_claims[1:]):
+                conflicts += 1
+        assign_id(vid, resolve(vertex, vertex_claims))
+    return MergeOutcome(state=state, shared_vertices=shared, conflicts=conflicts)

@@ -1,0 +1,105 @@
+"""Wire types of the sharded runtime.
+
+Everything that crosses the driver ↔ worker process boundary is defined
+here, so the protocol is visible in one place:
+
+* **Batches** travel driver → worker as plain lists of
+  ``(u, u_label, v, v_label)`` tuples — the fields of an
+  :class:`~repro.graph.stream.EdgeEvent`, carrying the *original* vertex
+  objects.  Shipping objects (not interner ids) is deliberate: the hash
+  partitioner places by a stable hash of the vertex's own repr, so a
+  worker that saw ids instead of objects would place differently than the
+  single-process path.  Vertices must therefore be picklable (ints,
+  strings, tuples — anything a dataset realistically uses).
+* ``None`` is the end-of-stream sentinel on a worker's input queue.
+* :class:`WorkerSpec` tells a worker how to build its partitioner — the
+  registry name plus everything `registry.create` wants.  Stream-level
+  totals (``expected_vertices`` / ``expected_edges``) are *global*: Fennel's
+  α and every capacity are computed from the whole stream's shape, not the
+  shard's, so all workers price balance identically.
+* :class:`ShardResult` travels worker → driver exactly once: the shard's
+  assignment slice (vertex-keyed — local interner ids mean nothing
+  outside the worker), matcher/partitioner counters and timings.
+* :class:`WorkerFailure` replaces the result when a worker dies; the
+  driver re-raises it as a ``RuntimeError`` instead of hanging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.labelled_graph import Vertex
+
+#: End-of-stream sentinel on a worker input queue.
+END_OF_STREAM = None
+
+#: One batch row: the four fields of an EdgeEvent.
+BatchRow = Tuple[Vertex, str, Vertex, str]
+
+
+class GraphTotals:
+    """A stream's a-priori shape: the two totals factories may ask of
+    ``ctx.graph`` (Fennel's α, capacity sizing) without materialising a
+    :class:`~repro.graph.labelled_graph.LabelledGraph` in every worker."""
+
+    __slots__ = ("num_vertices", "num_edges")
+
+    def __init__(self, num_vertices: int, num_edges: int) -> None:
+        self.num_vertices = num_vertices
+        self.num_edges = num_edges
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<GraphTotals n={self.num_vertices} m={self.num_edges}>"
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a worker needs to build its partitioner from scratch."""
+
+    shard_id: int
+    system: str
+    k: int
+    expected_vertices: int
+    expected_edges: int
+    imbalance: float = 1.1
+    #: Per-shard window (the driver divides the global budget by the shard
+    #: count before building specs); ``None`` for windowless systems.
+    window_size: Optional[int] = None
+    seed: int = 0
+    #: Loom's workload (picklable); ``None`` for workload-oblivious systems.
+    workload: Optional[object] = None
+    #: Strategy-specific kwargs forwarded to the registry factory.
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class ShardResult:
+    """One worker's complete output, sent once after the sentinel."""
+
+    shard_id: int
+    #: The shard's assignment slice, in the worker's first-seen vertex
+    #: order (deterministic for a fixed shard stream).
+    assignment: List[Tuple[Vertex, int]]
+    edges: int
+    batches: int
+    #: Seconds spent inside ingest_batch/finalize (excludes queue waits).
+    ingest_seconds: float
+    #: Wall seconds from worker start to result send (includes queue waits).
+    worker_seconds: float
+    matcher_stats: Optional[Dict[str, int]] = None
+    partitioner_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def edges_per_second(self) -> float:
+        """Shard-local ingest rate (excluding time blocked on the queue)."""
+        return self.edges / self.ingest_seconds if self.ingest_seconds > 0 else float("inf")
+
+
+@dataclass
+class WorkerFailure:
+    """Sent instead of a :class:`ShardResult` when a worker raises."""
+
+    shard_id: int
+    error: str
+    traceback: str

@@ -1,0 +1,96 @@
+"""The shard worker: one process, one partitioner, one shard of the stream.
+
+``worker_main`` is the target of every runtime process.  It rebuilds the
+partitioner from its :class:`~repro.runtime.messages.WorkerSpec` through
+the ordinary registry (so *any* registered system — builtin or plugin —
+works sharded with no extra code), drains its input queue batch by batch,
+finalizes on the end-of-stream sentinel, and ships a single
+:class:`~repro.runtime.messages.ShardResult` back.
+
+Determinism inside a worker is inherited, not invented: the partitioners
+are already hash-seed-independent (see ``tests/test_determinism.py``), the
+batch boundaries are fixed by the driver's batch size, and
+``ingest_batch`` is order-preserving — so a fixed shard stream yields a
+bit-identical assignment slice on every run.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+
+from repro.partitioning import registry
+from repro.partitioning.state import PartitionState
+from repro.runtime.messages import (
+    END_OF_STREAM,
+    GraphTotals,
+    ShardResult,
+    WorkerFailure,
+    WorkerSpec,
+)
+
+
+def build_worker_partitioner(spec: WorkerSpec):
+    """The spec → partitioner construction, shared with in-process tests.
+
+    The state is sized from the *global* totals (same formula as the
+    single-process path), so with one shard the worker's partitioner is
+    construction-identical to the direct one — the property the
+    ``--shards 1`` parity tests pin.
+    """
+    state = PartitionState.for_graph(spec.k, spec.expected_vertices, spec.imbalance)
+    partitioner = registry.create(
+        spec.system,
+        state,
+        graph=GraphTotals(spec.expected_vertices, spec.expected_edges),
+        workload=spec.workload,
+        window_size=spec.window_size,
+        seed=spec.seed,
+        **spec.extra,
+    )
+    return partitioner
+
+
+def worker_main(spec: WorkerSpec, in_queue, out_queue) -> None:
+    """Process entry point: consume batches until the sentinel, then report."""
+    started = time.perf_counter()
+    try:
+        from repro.graph.stream import EdgeEvent
+
+        partitioner = build_worker_partitioner(spec)
+        ingest_batch = partitioner.ingest_batch
+        ingest_seconds = 0.0
+        batches = 0
+        while True:
+            batch = in_queue.get()
+            if batch is END_OF_STREAM:
+                break
+            events = [EdgeEvent(u, lu, v, lv) for u, lu, v, lv in batch]
+            t0 = time.perf_counter()
+            ingest_batch(events)
+            ingest_seconds += time.perf_counter() - t0
+            batches += 1
+        t0 = time.perf_counter()
+        partitioner.finalize()
+        ingest_seconds += time.perf_counter() - t0
+
+        matcher = getattr(partitioner, "matcher", None)
+        result = ShardResult(
+            shard_id=spec.shard_id,
+            assignment=partitioner.state.export_assignment(),
+            edges=partitioner.edges_ingested,
+            batches=batches,
+            ingest_seconds=ingest_seconds,
+            worker_seconds=time.perf_counter() - started,
+            matcher_stats=matcher.stats.as_dict() if matcher is not None else None,
+            partitioner_stats=dict(getattr(partitioner, "stats", {})),
+        )
+        out_queue.put(result)
+    except BaseException as exc:  # noqa: BLE001 - a silent worker deadlocks the driver
+        out_queue.put(
+            WorkerFailure(
+                shard_id=spec.shard_id,
+                error=f"{type(exc).__name__}: {exc}",
+                traceback=traceback.format_exc(),
+            )
+        )

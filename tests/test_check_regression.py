@@ -1,0 +1,111 @@
+"""The benchmark regression gate: fails on slowdowns, passes on baselines."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_regression", REPO / "benchmarks" / "check_regression.py"
+)
+check_regression = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_regression", check_regression)
+_spec.loader.exec_module(check_regression)
+
+
+def _write(tmp_path, name, results):
+    path = tmp_path / name
+    path.write_text(json.dumps({"benchmark": "fake", "results": results}))
+    return str(path)
+
+
+class TestCollectGatedRows:
+    def test_flat_per_system_shape(self):
+        rows = check_regression.collect_gated_rows(
+            {"ldg": {"gain_vs_baseline": 1.1}, "hash": {"speedup": 0.6}}
+        )
+        assert [r["label"] for r in rows] == ["ldg"]
+
+    def test_nested_scaling_shape(self):
+        rows = check_regression.collect_gated_rows(
+            {"loom": {"s1": {"gain_vs_baseline": 1.0}, "s4": {"gain_vs_baseline": 0.5}}}
+        )
+        assert sorted(r["label"] for r in rows) == ["loom.s1", "loom.s4"]
+
+    def test_single_row_matcher_shape(self):
+        rows = check_regression.collect_gated_rows(
+            {"edges_per_sec": 58044.2, "gain_vs_baseline": 0.99}
+        )
+        assert [r["label"] for r in rows] == ["<root>"]
+
+
+class TestGate:
+    def test_injected_slowdown_fails(self, tmp_path, capsys):
+        """The acceptance case: a fake bench payload with a regressed
+        system must exit 1 and name the regression in the table."""
+        path = _write(
+            tmp_path,
+            "slow.json",
+            {
+                "ldg": {
+                    "gain_vs_baseline": 0.5,
+                    "baseline_edges_per_sec": 1_000_000,
+                    "current_edges_per_sec": 500_000,
+                },
+                "loom": {"gain_vs_baseline": 1.2},
+            },
+        )
+        assert check_regression.main([path]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "ldg" in out
+
+    def test_healthy_gains_pass(self, tmp_path):
+        path = _write(
+            tmp_path, "ok.json", {"ldg": {"gain_vs_baseline": 1.0}}
+        )
+        assert check_regression.main([path]) == 0
+
+    def test_threshold_is_configurable(self, tmp_path):
+        path = _write(tmp_path, "borderline.json", {"x": {"gain_vs_baseline": 0.9}})
+        assert check_regression.main([path]) == 0
+        assert check_regression.main([path, "--threshold", "0.95"]) == 1
+
+    def test_regressed_shard_count_fails(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "scale.json",
+            {"loom": {"s1": {"gain_vs_baseline": 1.0}, "s4": {"gain_vs_baseline": 0.3}}},
+        )
+        assert check_regression.main([path]) == 1
+
+    def test_no_gated_rows_passes_unless_strict(self, tmp_path):
+        path = _write(tmp_path, "smoke.json", {"ldg": {"current_edges_per_sec": 1.0}})
+        assert check_regression.main([path]) == 0
+        assert check_regression.main([path, "--strict"]) == 1
+
+    def test_unreadable_file_fails(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert check_regression.main([str(path)]) == 1
+
+    def test_multiple_files_any_failure_wins(self, tmp_path):
+        good = _write(tmp_path, "good.json", {"a": {"gain_vs_baseline": 1.0}})
+        bad = _write(tmp_path, "bad.json", {"b": {"gain_vs_baseline": 0.1}})
+        assert check_regression.main([good, bad]) == 1
+
+
+class TestCommittedBaselines:
+    """CI runs this gate against the committed payloads — they must pass."""
+
+    @pytest.mark.parametrize(
+        "name", ["BENCH_throughput.json", "BENCH_matcher.json", "BENCH_scaling.json"]
+    )
+    def test_committed_payload_passes(self, name):
+        path = REPO / name
+        assert path.exists(), f"{name} must stay committed (CI gates on it)"
+        assert check_regression.main([str(path)]) == 0

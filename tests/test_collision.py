@@ -1,6 +1,5 @@
 """Tests for the Fig. 4 collision-probability model (Sec. 2.3)."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -12,10 +12,7 @@ from repro.bench.harness import compare_systems
 from repro.core.loom import LoomPartitioner
 from repro.datasets.registry import load_dataset
 from repro.graph.stream import stream_edges
-from repro.partitioning.fennel import FennelPartitioner
-from repro.partitioning.hash_partitioner import HashPartitioner
-from repro.partitioning.ldg import LDGPartitioner
-from repro.partitioning.metrics import imbalance, unassigned_vertices
+from repro.partitioning.metrics import unassigned_vertices
 from repro.partitioning.state import PartitionState
 from repro.query.executor import WorkloadExecutor
 

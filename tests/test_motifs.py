@@ -4,8 +4,6 @@ import pytest
 
 from repro.core.motifs import MotifIndex
 from repro.core.tpstry import TPSTry
-from repro.query.pattern import path_pattern
-from repro.query.workload import Workload
 
 
 class TestFigure1Motifs:

@@ -6,8 +6,6 @@ from hypothesis import given, settings, strategies as st
 from repro.datasets.figure1 import (
     MIN_CUT_PARTITIONING,
     WORKLOAD_AWARE_PARTITIONING,
-    figure1_graph,
-    figure1_workload,
 )
 from repro.graph.labelled_graph import LabelledGraph
 from repro.partitioning.state import PartitionState
@@ -157,7 +155,6 @@ class TestIsomorphism:
 
     def test_agrees_with_networkx(self):
         """Embedding counts match networkx's subgraph isomorphism counts."""
-        import networkx as nx
         from networkx.algorithms.isomorphism import GraphMatcher, categorical_node_match
 
         g = make_random_labelled_graph(num_vertices=25, num_edges=50, seed=13)

@@ -33,27 +33,16 @@ SRC = Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
+from bench_util import bench_workload, load_baseline
+
 from repro.core.matching import StreamMatcher
 from repro.core.motifs import MotifIndex
 from repro.core.tpstry import TPSTry
 from repro.graph.stream import synthetic_stream
-from repro.query.pattern import path_pattern
-from repro.query.workload import Workload
 
 DEFAULT_EDGES = 20_000
 DEFAULT_VERTICES = 4_000
 DEFAULT_WINDOW = 2_000
-
-
-def bench_workload() -> Workload:
-    """The same workload as bench_throughput's Loom row, for comparability."""
-    return Workload(
-        [
-            (path_pattern(["a", "b", "a", "b"], name="abab"), 0.5),
-            (path_pattern(["a", "b", "c"], name="abc"), 0.5),
-        ],
-        name="bench",
-    )
 
 
 def drive_matcher(matcher: StreamMatcher, events) -> None:
@@ -91,14 +80,6 @@ def timed_run(index: MotifIndex, window: int, events):
             gc.enable()
         gc.collect()
     return elapsed, matcher
-
-
-def load_baseline(path):
-    try:
-        with open(path, "r", encoding="utf-8") as f:
-            return json.load(f)
-    except (OSError, ValueError):
-        return None
 
 
 def comparable(baseline, args) -> bool:

@@ -44,9 +44,9 @@ SRC = Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
+from bench_util import bench_workload, load_baseline
+
 from repro.graph.stream import synthetic_stream
-from repro.query.pattern import path_pattern
-from repro.query.workload import Workload
 from repro.runtime import run_sharded
 
 DEFAULT_EDGES = 40_000
@@ -55,25 +55,6 @@ DEFAULT_K = 8
 DEFAULT_WINDOW = 4_000
 DEFAULT_BATCH = 2_048
 DEFAULT_SHARDS = (1, 2, 4, 8)
-
-
-def bench_workload() -> Workload:
-    """The same two-pattern workload as ``bench_throughput`` (Loom only)."""
-    return Workload(
-        [
-            (path_pattern(["a", "b", "a", "b"], name="abab"), 0.5),
-            (path_pattern(["a", "b", "c"], name="abc"), 0.5),
-        ],
-        name="bench",
-    )
-
-
-def load_baseline(path):
-    try:
-        with open(path, "r", encoding="utf-8") as f:
-            return json.load(f)
-    except (OSError, ValueError):
-        return None
 
 
 def _baseline_eps(baseline, system, shards, args):

@@ -48,6 +48,8 @@ SRC = Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
+from bench_util import bench_workload, load_baseline
+
 from repro.graph.stream import synthetic_stream
 from repro.partitioning import registry
 from repro.partitioning.legacy import (
@@ -58,25 +60,12 @@ from repro.partitioning.legacy import (
     LegacyLoomPartitioner,
 )
 from repro.partitioning.state import PartitionState
-from repro.query.pattern import path_pattern
-from repro.query.workload import Workload
 
 DEFAULT_EDGES = 100_000
 DEFAULT_VERTICES = 20_000
 DEFAULT_K = 8
 DEFAULT_LOOM_EDGES = 20_000
 DEFAULT_LOOM_WINDOW = 2_000
-
-
-def bench_workload() -> Workload:
-    """A small path workload over the synthetic labels (Loom only)."""
-    return Workload(
-        [
-            (path_pattern(["a", "b", "a", "b"], name="abab"), 0.5),
-            (path_pattern(["a", "b", "c"], name="abc"), 0.5),
-        ],
-        name="bench",
-    )
 
 
 def _legacy_partitioner(system, state, num_vertices, num_edges, workload, window, seed):
@@ -143,16 +132,6 @@ def _best_of_interleaved(repeats, build_a, build_b, events):
         elapsed, state_b = _timed_run(build_b, events)
         best_b = min(best_b, elapsed)
     return best_a, state_a, best_b, state_b
-
-
-def load_baseline(path):
-    """The previously committed results payload, or ``None`` when the file
-    is missing or unreadable (first run, CI scratch dirs)."""
-    try:
-        with open(path, "r", encoding="utf-8") as f:
-            return json.load(f)
-    except (OSError, ValueError):
-        return None
 
 
 def _baseline_eps(baseline, system, args):

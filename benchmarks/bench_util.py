@@ -1,0 +1,43 @@
+"""Small helpers shared by the standalone benchmark scripts.
+
+Kept separate from ``bench_config.py`` (which carries pytest fixtures and
+dataset imports) so plain ``python benchmarks/bench_*.py`` runs pay for
+nothing they don't use.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.query.pattern import path_pattern
+from repro.query.workload import Workload
+
+
+def bench_workload() -> Workload:
+    """The benchmark suite's shared two-pattern workload (Loom only).
+
+    One definition on purpose: the throughput, matcher, scaling and
+    serving numbers (and their committed ``BENCH_*.json`` baselines) are
+    comparable only while they measure the identical query mix.
+    """
+    return Workload(
+        [
+            (path_pattern(["a", "b", "a", "b"], name="abab"), 0.5),
+            (path_pattern(["a", "b", "c"], name="abc"), 0.5),
+        ],
+        name="bench",
+    )
+
+
+def load_baseline(path):
+    """The previously committed results payload, or ``None`` when the file
+    is missing or unreadable (first run, CI scratch dirs)."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError):
+        return None

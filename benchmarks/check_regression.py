@@ -9,9 +9,10 @@ table, and exits 1 when any gain falls below the threshold (default
 0.85×, i.e. a >15% slowdown fails the build).
 
 Rows are discovered by walking the ``results`` tree recursively, so all
-three payload shapes work unchanged: ``bench_throughput`` (flat per-system
+four payload shapes work unchanged: ``bench_throughput`` (flat per-system
 rows), ``bench_matcher`` (one row), ``bench_scaling`` (system × shard
-count).  A file whose rows carry no ``gain_vs_baseline`` at all — a
+count) and ``bench_serving`` (per-system rows whose rate is queries/s
+rather than edges/s).  A file whose rows carry no ``gain_vs_baseline`` at all — a
 reduced-scale smoke run against an incomparable baseline — passes with a
 note, unless ``--strict`` says that silence itself is a failure.
 
@@ -53,16 +54,19 @@ def check_file(path: str, threshold: float) -> "tuple[List[Dict], List[Dict]]":
 def render_table(path: str, rows: List[Dict], threshold: float) -> str:
     lines = [
         f"{path}:",
-        f"  {'system':<24} {'baseline e/s':>14} {'current e/s':>14} {'gain':>8}  status",
+        f"  {'system':<24} {'baseline rate':>14} {'current rate':>14} {'gain':>8}  status",
     ]
     for entry in rows:
         row = entry["row"]
         gain = row["gain_vs_baseline"]
-        baseline = row.get("baseline_edges_per_sec")
+        baseline = row.get("baseline_edges_per_sec") or row.get("baseline_queries_per_sec")
+        # The rate unit is per-benchmark (edges/s for the ingest benches,
+        # queries/s for serving); the gate only ever compares like to like.
         current = (
             row.get("current_edges_per_sec")
             or row.get("aggregate_edges_per_sec")
             or row.get("edges_per_sec")
+            or row.get("queries_per_sec")
         )
         baseline_cell = f"{baseline:>14,.0f}" if baseline is not None else f"{'?':>14}"
         current_cell = f"{current:>14,.0f}" if current is not None else f"{'?':>14}"

@@ -82,9 +82,15 @@ class ComparisonResult:
 
     def row(self) -> Dict[str, object]:
         out: Dict[str, object] = {"dataset": self.dataset, "order": self.order, "k": self.k}
+        capped = False
         for name in self.runs:
-            if self.runs[name].report is not None:
+            report = self.runs[name].report
+            if report is not None:
                 out[name] = round(self.relative_ipt(name), 1)
+                capped = capped or report.capped
+        # Truncated enumeration under-counts ipt; every published table row
+        # carries the roll-up so a binding cap can't skew numbers silently.
+        out["capped"] = capped
         return out
 
 

@@ -14,6 +14,12 @@ Example::
 multi-process runtime (:mod:`repro.runtime`): deterministic edge routing
 to N workers, each running a full ``--system`` partitioner over its shard,
 merged back into one assignment (``--merge-rule``).
+
+``--serve N`` runs a closed-loop traffic benchmark *through* the produced
+partitioning (:mod:`repro.serving`): N frequency-weighted ``(query,
+root)`` requests routed to start partitions (``--router``), expanded
+partition-locally with hop accounting, optionally cached and Zipf-skewed
+(``--zipf``); reports queries/s, p50/p95/p99 latency and hops/query.
 """
 
 from __future__ import annotations
@@ -31,6 +37,8 @@ from repro.partitioning.state import PartitionState
 from repro.query.executor import WorkloadExecutor
 from repro.query.io import read_workload
 from repro.runtime import DEFAULT_BATCH_SIZE, available_merge_rules, run_sharded
+from repro.serving import ServingEngine, TrafficDriver
+from repro.serving.router import available_routers
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,6 +79,38 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--out", help="write 'vertex<TAB>partition' lines here")
     parser.add_argument("--execute", action="store_true", help="also execute the workload and report ipt")
     parser.add_argument(
+        "--serve",
+        type=int,
+        default=0,
+        metavar="N",
+        help="after partitioning, serve N closed-loop (query, root) requests "
+        "through the partition-local engine and report queries/s, latency "
+        "percentiles and hops (requires --workload)",
+    )
+    parser.add_argument(
+        "--router",
+        choices=available_routers(),
+        default="candidate-count",
+        help="start-partition routing policy (serve mode only)",
+    )
+    parser.add_argument(
+        "--zipf",
+        type=float,
+        default=1.1,
+        help="Zipf skew over each query's roots; 0 = uniform (serve mode only)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve without the (query, root) result cache",
+    )
+    parser.add_argument(
+        "--hop-cost-us",
+        type=float,
+        default=50.0,
+        help="modelled network cost per inter-partition hop, in µs (serve mode only)",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print matcher/plan counters (plan states, root hits, extension "
@@ -83,6 +123,9 @@ def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.system == "loom" and not args.workload:
         print("error: --system loom requires --workload", file=sys.stderr)
+        return 2
+    if args.serve and not args.workload:
+        print("error: --serve requires --workload", file=sys.stderr)
         return 2
 
     graph = read_graph(args.graph)
@@ -170,6 +213,40 @@ def main(argv: Optional[list] = None) -> int:
         report = WorkloadExecutor(graph, workload).execute(state, args.system)
         print(f"weighted_ipt: {report.weighted_ipt:g}", file=sys.stderr)
         print(f"ipt_fraction: {report.ipt_fraction:g}", file=sys.stderr)
+        # The truncation roll-up: a binding embedding cap under-counts ipt,
+        # so it is printed whenever it fires (and with --stats regardless).
+        if report.capped or args.stats:
+            names = ", ".join(report.capped_queries) if report.capped else "none"
+            print(f"executor.capped_queries: {names}", file=sys.stderr)
+    if args.serve:
+        engine = ServingEngine(
+            graph,
+            state,
+            workload,
+            router=args.router,
+            cache=not args.no_cache,
+        )
+        driver = TrafficDriver(
+            engine, seed=args.seed, zipf_s=args.zipf, hop_cost_us=args.hop_cost_us
+        )
+        traffic = driver.run(args.serve, system=args.system)
+        for key, value in traffic.as_dict().items():
+            print(f"serve.{key}: {value}", file=sys.stderr)
+        if args.stats:
+            serve_report = engine.execute_workload(args.system)
+            print(
+                f"serve.weighted_hops: {serve_report.weighted_hops:g} "
+                "(= weighted_ipt on full enumeration)",
+                file=sys.stderr,
+            )
+            print(
+                f"serve.partitions_contacted: {serve_report.total_partitions_contacted}",
+                file=sys.stderr,
+            )
+            print(f"serve.border_edges: {engine.stores.num_border_edges}", file=sys.stderr)
+            if engine.cache is not None:
+                for key, value in engine.cache.stats().items():
+                    print(f"serve.cache.{key}: {value}", file=sys.stderr)
 
     lines = (
         f"{v}\t{state.partition_of(v)}" for v in sorted(graph.vertices(), key=repr)

@@ -83,6 +83,21 @@ class ExecutionReport:
         denom = self.weighted_traversals
         return self.weighted_ipt / denom if denom else 0.0
 
+    @property
+    def capped(self) -> bool:
+        """True when *any* query's enumeration hit the embedding limit.
+
+        A capped report under-counts embeddings (identically across
+        partitioners, but still an under-count) — published ipt numbers
+        must surface this roll-up rather than let truncation pass silently.
+        """
+        return any(q.capped for q in self.queries)
+
+    @property
+    def capped_queries(self) -> List[str]:
+        """The names of the queries whose enumeration was truncated."""
+        return [q.name for q in self.queries if q.capped]
+
     def relative_to(self, baseline: "ExecutionReport") -> float:
         """ipt as a percentage of a baseline's (Figs. 7/8 plot vs Hash)."""
         if baseline.weighted_ipt == 0:

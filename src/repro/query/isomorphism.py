@@ -29,18 +29,30 @@ from repro.query.pattern import PatternGraph
 Embedding = Dict[Vertex, Vertex]
 
 
-def _search_plan(pattern: PatternGraph, graph: LabelledGraph) -> List[Tuple[Vertex, List[Vertex]]]:
+def search_plan(
+    pattern: PatternGraph,
+    graph: LabelledGraph,
+    label_counts: Optional[Dict[str, int]] = None,
+) -> List[Tuple[Vertex, List[Vertex]]]:
     """Order pattern vertices for the backtracking search.
 
     Returns ``[(pattern_vertex, mapped_pattern_neighbours), …]`` where the
     neighbour list names the *earlier* plan vertices adjacent to this one.
     The first entry has no neighbours; every later entry has at least one
     (patterns are connected).
+
+    Public because the serving engine compiles the *same* plan over its
+    partition stores: identical plans are what make serving-measured hops
+    bit-match the executor's ``cut_traversals``.  ``label_counts`` lets a
+    caller that already tracks the graph's label histogram (the serving
+    engine maintains it incrementally across ingest batches) skip the
+    full-vertex scan; when supplied it must equal the scan's result.
     """
-    label_counts: Dict[str, int] = {}
-    for v in graph.vertices():
-        label = graph.label(v)
-        label_counts[label] = label_counts.get(label, 0) + 1
+    if label_counts is None:
+        label_counts = {}
+        for v in graph.vertices():
+            label = graph.label(v)
+            label_counts[label] = label_counts.get(label, 0) + 1
 
     vertices = sorted(pattern.vertices(), key=repr)
     # Start from the vertex with the rarest label in the data graph; break
@@ -88,7 +100,7 @@ def find_embeddings(
     pattern.validate()
     if graph.num_vertices == 0:
         return
-    plan = _search_plan(pattern, graph)
+    plan = search_plan(pattern, graph)
     mapping: Embedding = {}
     used: set = set()
     produced = 0

@@ -1,0 +1,157 @@
+"""The ``(query, root)`` embedding-result cache and its invalidation rule.
+
+Serving traffic is skewed — the same roots get asked about again and again
+(the traffic driver's Zipf mode models exactly that) — so the engine caches
+the full per-root result of a query.  Streaming makes caching dangerous:
+a newly arrived edge can create embeddings that a cached entry predates.
+The invalidation rule is *sound* and derives from the query shape:
+
+    An embedding of query ``q`` rooted at ``r`` that uses a new edge
+    ``{u, v}`` connects ``r`` to ``u`` (and ``v``) through at most
+    ``|Eq|`` data edges — so only roots within distance ``|Eq|`` of a new
+    edge's endpoints (in the *updated* visible subgraph) can gain results.
+
+:func:`affected_roots` runs that bounded multi-source BFS; the engine
+invalidates every cached ``(q, r)`` whose root falls inside query ``q``'s
+radius.  Edges only ever arrive (the streaming model has no deletions), so
+cached results can become stale only by *missing* embeddings — staleness
+by deletion cannot happen, and entries outside the radius stay exact.
+
+What the cache does **not** promise: entries are whole per-root results
+(hit or recompute — no partial reuse), and it knows nothing about plan
+changes — the engine drops a query's entries itself when graph growth
+shifts the query's compiled root slot.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.serving.stores import ServingStores
+
+CacheKey = Tuple[str, int]
+"""``(query name, root vertex id)``."""
+
+
+def affected_roots(
+    stores: ServingStores,
+    endpoints: Iterable[int],
+    depth: int,
+) -> Dict[int, int]:
+    """Root id → distance for every stored vertex within ``depth`` hops of
+    any new-edge endpoint, over the current (post-update) visible subgraph.
+
+    Call *after* the stores absorbed the new edges: the connecting path may
+    itself use edges from the same batch.
+    """
+    return stores.bfs_within(endpoints, depth)
+
+
+class ResultCache:
+    """An LRU-bounded map from :data:`CacheKey` to a per-root result.
+
+    ``max_entries=None`` means unbounded (the tests' default); a bound makes
+    the least-recently-*used* entry fall out first, which under Zipf traffic
+    keeps the heavy roots resident.
+    """
+
+    __slots__ = ("max_entries", "_entries", "hits", "misses", "invalidations")
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive (or None for unbounded)")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[CacheKey, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    # -- the read/write path ----------------------------------------------
+    def get(self, key: CacheKey) -> Optional[object]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, value: object) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- invalidation ------------------------------------------------------
+    def invalidate_roots(self, query: str, roots: Iterable[int]) -> int:
+        """Drop the entries of ``query`` for exactly ``roots``; returns how
+        many entries were actually evicted."""
+        dropped = 0
+        for root in roots:
+            if self._entries.pop((query, root), None) is not None:
+                dropped += 1
+        self.invalidations += dropped
+        return dropped
+
+    def drop_query(self, query: str) -> int:
+        """Drop every entry of ``query`` (used when its plan recompiles)."""
+        stale = [key for key in self._entries if key[0] == query]
+        for key in stale:
+            del self._entries[key]
+        self.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+
+    # -- reporting ---------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Hashable]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ResultCache entries={len(self._entries)} hits={self.hits} "
+            f"misses={self.misses} invalidations={self.invalidations}>"
+        )
+
+
+def invalidation_sets(
+    stores: ServingStores,
+    new_edges: Iterable[Tuple[int, int]],
+    query_depths: Dict[str, int],
+) -> Dict[str, Set[int]]:
+    """Per-query root sets to invalidate for a batch of newly visible edges.
+
+    One BFS to the *largest* query radius serves every query: each query
+    then takes the roots within its own depth.
+    """
+    endpoints: List[int] = []
+    for uid, vid in new_edges:
+        endpoints.append(uid)
+        endpoints.append(vid)
+    if not endpoints or not query_depths:
+        return {name: set() for name in query_depths}
+    reach = affected_roots(stores, endpoints, max(query_depths.values()))
+    return {
+        name: {vid for vid, dist in reach.items() if dist <= depth}
+        for name, depth in query_depths.items()
+    }

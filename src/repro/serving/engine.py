@@ -1,0 +1,415 @@
+"""The partition-local query-serving engine.
+
+Executes pattern-matching queries *through* the per-partition stores: a
+query is routed to start partitions (:mod:`repro.serving.router`), root
+candidates are scanned from each contacted partition's label index, and
+every embedding is expanded partition-locally — each time expansion
+follows an edge whose endpoints live in different partitions the engine
+charges one **hop**.
+
+Hops are the live counterpart of the offline executor's inter-partition
+traversals: the engine compiles the *same* search plan
+(:func:`repro.query.isomorphism.search_plan`) over the same graph, so on
+full enumeration the hop total of a query is **bit-identical** to
+:class:`~repro.query.executor.WorkloadExecutor`'s ``cut_traversals`` —
+the correctness anchor tested in ``tests/test_serving_equivalence.py``.
+(Hops are charged per *completed* embedding, exactly as the executor
+counts; ``border_expansions`` additionally counts speculative search steps
+that crossed the border and found no embedding — the serving-only cost an
+offline score never sees.)
+
+The engine is online: :meth:`ServingEngine.ingest` feeds a batch to the
+attached :class:`~repro.partitioning.base.StreamingPartitioner` (via
+``ingest_batch``), admits the newly placed edges into the stores, and
+invalidates exactly the cached ``(query, root)`` results the new edges can
+have changed (:mod:`repro.serving.cache`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.graph.labelled_graph import LabelledGraph, Vertex
+from repro.graph.stream import EdgeEvent
+from repro.partitioning.base import StreamingPartitioner
+from repro.partitioning.state import PartitionState
+from repro.query.isomorphism import search_plan
+from repro.query.workload import Workload
+from repro.serving.cache import ResultCache, invalidation_sets
+from repro.serving.router import Router, create_router
+from repro.serving.stores import ServingStores
+
+
+@dataclass(frozen=True)
+class RootResult:
+    """Everything one ``(query, root)`` request returns — the cached unit."""
+
+    query: str
+    root: int
+    #: Complete embeddings, each a tuple of vertex ids in plan-slot order.
+    embeddings: Tuple[Tuple[int, ...], ...]
+    #: Border crossings inside the returned embeddings (the ipt share).
+    hops: int
+    #: Search steps that followed a border edge while generating candidates,
+    #: including ones that never completed an embedding.
+    border_expansions: int
+
+    @property
+    def num_embeddings(self) -> int:
+        return len(self.embeddings)
+
+
+@dataclass
+class QueryServeReport:
+    """Serving outcome for one workload query (all roots, full enumeration)."""
+
+    name: str
+    frequency: float
+    embeddings: int
+    traversals: int
+    hops: int
+    border_expansions: int
+    partitions_contacted: int
+    roots_scanned: int
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def weighted_hops(self) -> float:
+        """Frequency-weighted hops — the serving twin of ``weighted_ipt``."""
+        return self.frequency * self.hops
+
+    @property
+    def hops_per_embedding(self) -> float:
+        return self.hops / self.embeddings if self.embeddings else 0.0
+
+
+@dataclass
+class ServeReport:
+    """Serving outcome for a whole workload against one partitioning."""
+
+    system: str
+    queries: List[QueryServeReport] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def weighted_hops(self) -> float:
+        """Must equal ``ExecutionReport.weighted_ipt`` on full enumeration."""
+        return sum(q.weighted_hops for q in self.queries)
+
+    @property
+    def total_hops(self) -> int:
+        return sum(q.hops for q in self.queries)
+
+    @property
+    def total_embeddings(self) -> int:
+        return sum(q.embeddings for q in self.queries)
+
+    @property
+    def total_partitions_contacted(self) -> int:
+        return sum(q.partitions_contacted for q in self.queries)
+
+
+class _CompiledQuery:
+    """One workload query lowered onto interner ids: slots, anchors, labels."""
+
+    __slots__ = ("name", "frequency", "pattern", "label_ids", "anchors", "depth", "signature")
+
+    def __init__(
+        self,
+        entry,
+        graph: LabelledGraph,
+        stores: ServingStores,
+        label_counts: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.name = entry.pattern.name
+        self.frequency = entry.frequency
+        self.pattern = entry.pattern
+        plan = search_plan(entry.pattern, graph, label_counts)
+        slot_of = {pv: i for i, (pv, _anchors) in enumerate(plan)}
+        #: Wanted label id per slot, in plan order.
+        self.label_ids: List[int] = [
+            stores.labels.intern(entry.pattern.label(pv)) for pv, _a in plan
+        ]
+        #: Earlier-slot indices each slot must be adjacent to (slot 0: none).
+        self.anchors: List[List[int]] = [[slot_of[a] for a in anchors] for _pv, anchors in plan]
+        #: The cache-invalidation radius: an embedding rooted at r reaches
+        #: any of its vertices through at most |Eq| data edges.
+        self.depth = entry.pattern.num_edges
+        #: Plan identity — graph growth can shift the rarest-label root
+        #: slot, which changes what "root" means for cached entries.
+        self.signature = tuple(pv for pv, _a in plan)
+
+
+class ServingEngine:
+    """Serve a :class:`Workload` through per-partition stores.
+
+    Parameters
+    ----------
+    graph:
+        The live data graph.  For static serving this is the fully
+        streamed graph; with ``partitioner`` attached the engine grows it
+        edge by edge through :meth:`ingest`.
+    state:
+        The (shared-interner) partition assignment to serve through.
+    workload:
+        The queries and their frequencies.
+    router:
+        A :class:`~repro.serving.router.Router` instance or a registered
+        router name (default ``"candidate-count"``).
+    cache:
+        A :class:`~repro.serving.cache.ResultCache`, ``True`` for a default
+        unbounded one, or ``None``/``False`` to serve uncached.
+    partitioner:
+        Optional streaming partitioner fed by :meth:`ingest`; it must share
+        ``state`` (and therefore the interner) with the engine.
+    """
+
+    def __init__(
+        self,
+        graph: LabelledGraph,
+        state: PartitionState,
+        workload: Workload,
+        router: Union[Router, str] = "candidate-count",
+        cache: Union[ResultCache, bool, None] = None,
+        partitioner: Optional[StreamingPartitioner] = None,
+    ) -> None:
+        if partitioner is not None and partitioner.state is not state:
+            raise ValueError("partitioner must share the engine's PartitionState")
+        self.graph = graph
+        self.state = state
+        self.workload = workload
+        self.router = create_router(router) if isinstance(router, str) else router
+        if cache is True:
+            self.cache: Optional[ResultCache] = ResultCache()
+        elif cache is False or cache is None:
+            self.cache = None
+        else:
+            self.cache = cache  # a caller-configured ResultCache (even an empty one)
+        self.partitioner = partitioner
+        self.stores = ServingStores.from_state(graph, state)
+        # The graph's label histogram, maintained incrementally by ingest:
+        # recompiling plans per batch must not rescan every vertex.
+        self._label_counts: Dict[str, int] = {}
+        for v in graph.vertices():
+            label = graph.label(v)
+            self._label_counts[label] = self._label_counts.get(label, 0) + 1
+        self._queries: Dict[str, _CompiledQuery] = {}
+        self._compile_plans()
+
+    # ------------------------------------------------------------------
+    # Plan compilation
+    # ------------------------------------------------------------------
+    def _compile_plans(self) -> None:
+        """(Re)compile every query plan against the current graph.
+
+        Label rarity drives the root-slot choice, so graph growth can
+        reorder a plan; entries cached under the old root meaning are
+        dropped wholesale — the radius rule cannot cover a re-rooting.
+        """
+        for entry in self.workload:
+            compiled = _CompiledQuery(entry, self.graph, self.stores, self._label_counts)
+            previous = self._queries.get(compiled.name)
+            if previous is not None and previous.signature != compiled.signature:
+                if self.cache is not None:
+                    self.cache.drop_query(compiled.name)
+            self._queries[compiled.name] = compiled
+
+    def query_names(self) -> List[str]:
+        return list(self._queries)
+
+    def root_label_id(self, query_name: str) -> int:
+        return self._plan(query_name).label_ids[0]
+
+    def root_candidates(self, query_name: str) -> List[int]:
+        """All stored root-candidate ids for a query, across partitions."""
+        return self.stores.all_candidates(self.root_label_id(query_name))
+
+    def _plan(self, query_name: str) -> _CompiledQuery:
+        plan = self._queries.get(query_name)
+        if plan is None:
+            raise KeyError(f"no query named {query_name!r}; workload has {self.query_names()}")
+        return plan
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve_root(self, query_name: str, root: int) -> RootResult:
+        """Serve one ``(query, root vertex id)`` request, through the cache."""
+        plan = self._plan(query_name)
+        if self.cache is not None:
+            cached = self.cache.get((query_name, root))
+            if cached is not None:
+                return cached  # a hit answers locally: no partitions touched
+        result = self._enumerate_root(plan, root)
+        if self.cache is not None:
+            self.cache.put((query_name, root), result)
+        return result
+
+    def serve_vertex(self, query_name: str, root_vertex: Vertex) -> RootResult:
+        """Vertex-keyed :meth:`serve_root` (the public request boundary)."""
+        vid = self.state.interner.id_of(root_vertex)
+        if vid is None:
+            raise KeyError(f"unknown root vertex {root_vertex!r}")
+        return self.serve_root(query_name, vid)
+
+    def _enumerate_root(self, plan: _CompiledQuery, root: int) -> RootResult:
+        """Enumerate every embedding whose plan-root slot maps to ``root``.
+
+        The expansion mirrors ``find_embeddings`` exactly — same plan, same
+        injectivity/label/anchor checks — but runs on the partition stores:
+        candidates come from the owner store's adjacency, and each anchor
+        edge whose endpoints live in different partitions is a hop.
+        """
+        stores = self.stores
+        label_of = stores._label_of
+        if label_of.get(root) != plan.label_ids[0]:
+            return RootResult(plan.name, root, (), 0, 0)
+        assignment = self.state.assignment_vector
+        has_edge = stores.has_edge
+        neighbors = stores.neighbors
+        label_ids = plan.label_ids
+        anchors = plan.anchors
+        depth_total = len(label_ids)
+        mapping: List[int] = [-1] * depth_total
+        mapping[0] = root
+        used = {root}
+        embeddings: List[Tuple[int, ...]] = []
+        hops_total = 0
+        border_expansions = 0
+
+        def backtrack(depth: int, crossings: int) -> None:
+            nonlocal hops_total, border_expansions
+            if depth == depth_total:
+                embeddings.append(tuple(mapping))
+                hops_total += crossings
+                return
+            want = label_ids[depth]
+            slot_anchors = anchors[depth]
+            first = mapping[slot_anchors[0]]
+            first_partition = assignment[first]
+            for cand in neighbors(first):
+                crossed = assignment[cand] != first_partition
+                if crossed:
+                    # Candidate generation itself followed a border edge —
+                    # speculative cost, charged whether or not it pans out.
+                    border_expansions += 1
+                if cand in used or label_of[cand] != want:
+                    continue
+                ok = True
+                added = 1 if crossed else 0
+                for a in slot_anchors[1:]:
+                    other = mapping[a]
+                    if not has_edge(cand, other):
+                        ok = False
+                        break
+                    if assignment[cand] != assignment[other]:
+                        added += 1
+                if not ok:
+                    continue
+                mapping[depth] = cand
+                used.add(cand)
+                backtrack(depth + 1, crossings + added)
+                used.discard(cand)
+                mapping[depth] = -1
+
+        backtrack(1, 0)
+        return RootResult(plan.name, root, tuple(embeddings), hops_total, border_expansions)
+
+    def execute_query(self, query_name: str) -> QueryServeReport:
+        """Full enumeration of one query: route, scan roots, serve each."""
+        plan = self._plan(query_name)
+        partitions = self.router.route(self.stores, plan.label_ids[0])
+        embeddings = traversals = hops = border = roots = 0
+        hits0 = self.cache.hits if self.cache is not None else 0
+        misses0 = self.cache.misses if self.cache is not None else 0
+        num_edges = plan.pattern.num_edges
+        for partition in partitions:
+            for root in self.stores.candidates(partition, plan.label_ids[0]):
+                result = self.serve_root(query_name, root)
+                roots += 1
+                embeddings += result.num_embeddings
+                traversals += result.num_embeddings * num_edges
+                hops += result.hops
+                border += result.border_expansions
+        return QueryServeReport(
+            name=plan.name,
+            frequency=plan.frequency,
+            embeddings=embeddings,
+            traversals=traversals,
+            hops=hops,
+            border_expansions=border,
+            partitions_contacted=len(partitions),
+            roots_scanned=roots,
+            cache_hits=(self.cache.hits - hits0) if self.cache is not None else 0,
+            cache_misses=(self.cache.misses - misses0) if self.cache is not None else 0,
+        )
+
+    def execute_workload(self, system: str = "") -> ServeReport:
+        """Serve every workload query in full — the executor-equivalent pass."""
+        start = time.perf_counter()
+        report = ServeReport(system=system)
+        for name in self._queries:
+            report.queries.append(self.execute_query(name))
+        report.seconds = time.perf_counter() - start
+        return report
+
+    # ------------------------------------------------------------------
+    # Online ingest (composes with StreamingPartitioner.ingest_batch)
+    # ------------------------------------------------------------------
+    def ingest(self, events: Iterable[EdgeEvent]) -> int:
+        """Stream a batch: partition it, grow the stores, invalidate caches.
+
+        Returns the number of edges that became *visible* (both endpoints
+        placed) this round; Loom-deferred edges park in the stores' pending
+        buffer until a later round or :meth:`finalize` places them.
+        """
+        if self.partitioner is None:
+            raise ValueError("engine has no partitioner attached; cannot ingest")
+        batch = list(events)
+        self.partitioner.ingest_batch(batch)
+        label_counts = self._label_counts
+        for event in batch:
+            for v, label in ((event.u, event.u_label), (event.v, event.v_label)):
+                if not self.graph.has_vertex(v):
+                    label_counts[label] = label_counts.get(label, 0) + 1
+            self.graph.add_edge(event.u, event.v, event.u_label, event.v_label)
+        new_edges = []
+        for event in batch:
+            pair = self.stores.ingest_edge(event)
+            if pair is not None:
+                new_edges.append(pair)
+        new_edges.extend(self.stores.flush_pending())
+        self._after_growth(new_edges)
+        return len(new_edges)
+
+    def finalize(self) -> int:
+        """Drain the partitioner (Loom's window) and flush pending edges."""
+        if self.partitioner is not None:
+            self.partitioner.finalize()
+        new_edges = self.stores.flush_pending()
+        self._after_growth(new_edges)
+        return len(new_edges)
+
+    def _after_growth(self, new_edges: Sequence[Tuple[int, int]]) -> None:
+        if not new_edges:
+            return
+        # Plans first: label counts moved, so root slots may have too (which
+        # drops those queries' caches wholesale)...
+        self._compile_plans()
+        if self.cache is None:
+            return
+        # ...then the radius rule for everything still cached: only roots
+        # within |Eq| hops of a new edge can have gained embeddings.
+        depths = {name: plan.depth for name, plan in self._queries.items()}
+        for name, roots in invalidation_sets(self.stores, new_edges, depths).items():
+            if roots:
+                self.cache.invalidate_roots(name, roots)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ServingEngine k={self.state.k} queries={len(self._queries)} "
+            f"router={self.router.name!r} cache={'on' if self.cache is not None else 'off'}>"
+        )

@@ -1,0 +1,307 @@
+"""Per-partition subgraph stores: the data layer of the serving engine.
+
+A :class:`ServingStores` is materialised from a
+:class:`~repro.graph.labelled_graph.LabelledGraph` plus a
+:class:`~repro.partitioning.state.PartitionState` assignment.  Each
+partition owns one :class:`PartitionStore` holding the adjacency of its
+member vertices on dense interner ids (sorted neighbour arrays, CSR in
+spirit: the flat sorted runs are what the engine's inner loop scans), a
+**border index** — for each member, the sorted sub-list of neighbours that
+live in a *different* partition — and a label index (label id → sorted
+member ids) that feeds root-candidate scans and the routers.
+
+The stores are **online**: :meth:`ServingStores.ingest_edge` admits a
+streamed edge the moment both endpoints have been *assigned* by the
+partitioner.  Edges whose endpoint is still unplaced (Loom holds vertices
+in its sliding window before clustering them) park in a pending buffer and
+surface via :meth:`flush_pending` once the assignment lands — so the
+visible subgraph only ever contains fully-placed edges, which is exactly
+the set the offline executor can score.
+
+Everything is keyed by the ids of ``state.interner``; vertex objects and
+label strings survive only at the boundary.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.graph.interning import LabelInterner, pack_edge
+from repro.graph.labelled_graph import LabelledGraph, Vertex
+from repro.graph.stream import EdgeEvent
+from repro.partitioning.state import UNASSIGNED, PartitionState
+
+
+class PartitionStore:
+    """One partition's vertex-local view: members, adjacency, border, labels."""
+
+    __slots__ = ("partition", "_adj", "_border", "_by_label")
+
+    def __init__(self, partition: int) -> None:
+        self.partition = partition
+        #: member id → sorted ids of *all* its neighbours (local and remote).
+        self._adj: Dict[int, List[int]] = {}
+        #: member id → sorted ids of its *remote* neighbours (the border index).
+        self._border: Dict[int, List[int]] = {}
+        #: label id → sorted member ids carrying that label.
+        self._by_label: Dict[int, List[int]] = {}
+
+    # -- construction ------------------------------------------------------
+    def add_member(self, vid: int, label_id: int, sort: bool = True) -> None:
+        if vid in self._adj:
+            return
+        self._adj[vid] = []
+        if sort:
+            insort(self._by_label.setdefault(label_id, []), vid)
+        else:
+            self._by_label.setdefault(label_id, []).append(vid)
+
+    def add_neighbor(self, vid: int, other: int, remote: bool, sort: bool = True) -> None:
+        if sort:
+            insort(self._adj[vid], other)
+        else:
+            self._adj[vid].append(other)
+        if remote:
+            if sort:
+                insort(self._border.setdefault(vid, []), other)
+            else:
+                self._border.setdefault(vid, []).append(other)
+
+    def sort_indexes(self) -> None:
+        """Sort every index in place — the bulk-build counterpart of the
+        incremental ``insort`` path (append unsorted, sort each list once)."""
+        for index in (self._adj, self._border, self._by_label):
+            for values in index.values():
+                values.sort()
+
+    # -- queries -----------------------------------------------------------
+    def neighbors(self, vid: int) -> List[int]:
+        """All neighbours of member ``vid``, sorted.  Do not mutate."""
+        return self._adj[vid]
+
+    def border_neighbors(self, vid: int) -> List[int]:
+        """The remote neighbours of member ``vid``, sorted.  Do not mutate."""
+        return self._border.get(vid, [])
+
+    def candidates(self, label_id: int) -> List[int]:
+        """Sorted member ids labelled ``label_id``.  Do not mutate."""
+        return self._by_label.get(label_id, [])
+
+    def candidate_count(self, label_id: int) -> int:
+        return len(self._by_label.get(label_id, ()))
+
+    @property
+    def num_members(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_border_vertices(self) -> int:
+        """Members with at least one cut edge (the partition's frontier)."""
+        return len(self._border)
+
+    def __contains__(self, vid: int) -> bool:
+        return vid in self._adj
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PartitionStore p={self.partition} members={self.num_members} "
+            f"frontier={self.num_border_vertices}>"
+        )
+
+
+class ServingStores:
+    """The k per-partition stores over one shared assignment and id space."""
+
+    __slots__ = (
+        "state",
+        "labels",
+        "stores",
+        "_label_of",
+        "_edges",
+        "_pending",
+        "_sorted",
+        "num_edges",
+        "num_border_edges",
+    )
+
+    def __init__(self, state: PartitionState, labels: Optional[LabelInterner] = None) -> None:
+        self.state = state
+        #: Label ↔ id bijection shared with the engine's compiled plans.
+        self.labels = labels if labels is not None else LabelInterner()
+        #: True once construction is incremental: inserts keep lists sorted.
+        #: ``from_state`` clears it during its bulk build (append, sort once).
+        self._sorted = True
+        self.stores: List[PartitionStore] = [PartitionStore(p) for p in range(state.k)]
+        #: vertex id → label id, for every stored vertex.
+        self._label_of: Dict[int, int] = {}
+        #: packed edge keys of every *visible* edge (both endpoints placed).
+        self._edges: Set[int] = set()
+        #: events whose endpoint was unassigned on arrival, in arrival order.
+        self._pending: List[EdgeEvent] = []
+        self.num_edges = 0
+        self.num_border_edges = 0
+
+    @classmethod
+    def from_state(cls, graph: LabelledGraph, state: PartitionState) -> "ServingStores":
+        """Materialise stores for every placed vertex/edge of ``graph``.
+
+        Edges with an unplaced endpoint go to the pending buffer (none, in
+        the common fully-partitioned case).
+        """
+        stores = cls(state)
+        # Bulk build: append into the index lists and sort each once at the
+        # end, instead of paying insort's O(degree) shift per edge.
+        stores._sorted = False
+        try:
+            for v in graph.vertices():
+                vid = state.interner.id_of(v)
+                if vid is not None and state.partition_of_id(vid) != UNASSIGNED:
+                    stores._add_member(vid, graph.label(v))
+            for u, v in graph.edges():
+                stores.ingest_edge(EdgeEvent(u, graph.label(u), v, graph.label(v)))
+        finally:
+            stores._sorted = True
+            for store in stores.stores:
+                store.sort_indexes()
+        return stores
+
+    # ------------------------------------------------------------------
+    # Construction / streaming
+    # ------------------------------------------------------------------
+    def _add_member(self, vid: int, label: str) -> None:
+        if vid in self._label_of:
+            return
+        lid = self.labels.intern(label)
+        self._label_of[vid] = lid
+        self.stores[self.state.partition_of_id(vid)].add_member(vid, lid, sort=self._sorted)
+
+    def ingest_edge(self, event: EdgeEvent) -> Optional[Tuple[int, int]]:
+        """Admit one streamed edge if both endpoints are placed.
+
+        Returns the visible ``(uid, vid)`` id pair when the edge entered the
+        stores, ``None`` when it parked in the pending buffer (unknown or
+        unassigned endpoint).  Duplicate edges are no-ops returning ``None``.
+        """
+        id_of = self.state.interner.id_of
+        uid, vid = id_of(event.u), id_of(event.v)
+        if (
+            uid is None
+            or vid is None
+            or self.state.partition_of_id(uid) == UNASSIGNED
+            or self.state.partition_of_id(vid) == UNASSIGNED
+        ):
+            self._pending.append(event)
+            return None
+        ekey = pack_edge(uid, vid)
+        if ekey in self._edges:
+            return None
+        self._add_member(uid, event.u_label)
+        self._add_member(vid, event.v_label)
+        self._edges.add(ekey)
+        self.num_edges += 1
+        pu = self.state.partition_of_id(uid)
+        pv = self.state.partition_of_id(vid)
+        remote = pu != pv
+        self.stores[pu].add_neighbor(uid, vid, remote, sort=self._sorted)
+        self.stores[pv].add_neighbor(vid, uid, remote, sort=self._sorted)
+        if remote:
+            self.num_border_edges += 1
+        return (uid, vid)
+
+    def flush_pending(self) -> List[Tuple[int, int]]:
+        """Retry every parked edge; returns the id pairs that became visible.
+
+        Call after each ingest round (and after ``finalize``): a Loom
+        cluster assignment can retroactively place the endpoints of edges
+        that streamed earlier.
+        """
+        parked, self._pending = self._pending, []
+        visible: List[Tuple[int, int]] = []
+        for event in parked:
+            pair = self.ingest_edge(event)
+            if pair is not None:
+                visible.append(pair)
+        return visible
+
+    @property
+    def num_pending(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Queries (the engine's inner-loop surface)
+    # ------------------------------------------------------------------
+    def owner(self, vid: int) -> int:
+        """The partition storing ``vid``; raises ``KeyError`` if unstored."""
+        p = self.state.partition_of_id(vid)
+        if p == UNASSIGNED or vid not in self._label_of:
+            raise KeyError(f"vertex id {vid} is not stored in any partition")
+        return p
+
+    def label_id_of(self, vid: int) -> int:
+        return self._label_of[vid]
+
+    def has_edge(self, uid: int, vid: int) -> bool:
+        return pack_edge(uid, vid) in self._edges
+
+    def neighbors(self, vid: int) -> List[int]:
+        """All visible neighbours of ``vid`` (via its owner store), sorted."""
+        return self.stores[self.owner(vid)].neighbors(vid)
+
+    def candidates(self, partition: int, label_id: int) -> List[int]:
+        return self.stores[partition].candidates(label_id)
+
+    def candidate_counts(self, label_id: int) -> List[int]:
+        """Per-partition root-candidate counts (the routers' main signal)."""
+        return [store.candidate_count(label_id) for store in self.stores]
+
+    def all_candidates(self, label_id: int) -> List[int]:
+        """Every stored id carrying ``label_id``, across partitions, sorted."""
+        out: List[int] = []
+        for store in self.stores:
+            out.extend(store.candidates(label_id))
+        out.sort()
+        return out
+
+    def bfs_within(self, sources: Iterable[int], depth: int) -> Dict[int, int]:
+        """Id → distance for every stored id within ``depth`` hops of
+        ``sources`` over the visible subgraph (distance 0 at the sources).
+
+        This powers cache invalidation: any embedding using a new edge is
+        rooted within pattern-diameter distance of one of its endpoints.
+        """
+        dist: Dict[int, int] = {}
+        frontier: List[int] = []
+        for s in sources:
+            if s in self._label_of and s not in dist:
+                dist[s] = 0
+                frontier.append(s)
+        d = 0
+        while frontier and d < depth:
+            d += 1
+            nxt: List[int] = []
+            for vid in frontier:
+                for w in self.neighbors(vid):
+                    if w not in dist:
+                        dist[w] = d
+                        nxt.append(w)
+            frontier = nxt
+        return dist
+
+    @property
+    def k(self) -> int:
+        return self.state.k
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._label_of)
+
+    def vertex(self, vid: int) -> Vertex:
+        return self.state.interner.vertex(vid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ServingStores k={self.k} |V|={self.num_vertices} "
+            f"|E|={self.num_edges} border={self.num_border_edges} "
+            f"pending={self.num_pending}>"
+        )

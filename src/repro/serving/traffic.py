@@ -1,0 +1,207 @@
+"""Closed-loop traffic driver: sampled query streams, throughput, latency.
+
+Models the ROADMAP's "heavy traffic" scenario at benchmark scale: a single
+closed loop issues ``(query, root)`` requests back-to-back against a
+:class:`~repro.serving.engine.ServingEngine` — each request is one user
+asking for the embeddings of one workload query rooted at one vertex.
+
+Sampling is frequency-weighted and deterministic: queries are drawn by
+their workload frequency, roots by an optional Zipf skew over each query's
+root-candidate list (``zipf_s = 0`` is uniform; larger values concentrate
+traffic on few roots, which is what makes the result cache earn its keep).
+Root candidates are global properties of the graph (label membership), so
+two engines over *different partitionings* of the same graph see the
+identical request sequence for the same seed — the property the serving
+benchmark relies on to compare systems fairly.
+
+Latency accounting: each request's latency is its measured local compute
+time plus ``hop_cost_us`` per hop actually incurred (zero for cache hits
+— a hit answers locally).  The hop cost models the network round-trip a
+distributed deployment would pay per border crossing; with
+``hop_cost_us=0`` the numbers are pure single-process compute.  Reported
+throughput is requests over total *accounted* time, so a partitioning
+that saves hops translates into queries/s at a stated network cost
+instead of an unmeasurable promise.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.serving.engine import ServingEngine
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0 < q ≤ 1) by the nearest-rank method."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, int(-(-q * len(sorted_values) // 1)))  # ceil without math
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+@dataclass
+class TrafficReport:
+    """Outcome of one closed-loop run."""
+
+    system: str
+    requests: int
+    wall_seconds: float
+    accounted_seconds: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    embeddings: int
+    hops: int
+    charged_hops: int
+    cache_hits: int
+    cache_misses: int
+    router: str
+    zipf_s: float
+    hop_cost_us: float
+
+    @property
+    def requests_per_sec(self) -> float:
+        if self.accounted_seconds <= 0:
+            return float("inf")
+        return self.requests / self.accounted_seconds
+
+    @property
+    def hops_per_request(self) -> float:
+        return self.hops / self.requests if self.requests else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "system": self.system,
+            "requests": self.requests,
+            "queries_per_sec": round(self.requests_per_sec, 1),
+            "p50_ms": round(self.p50_ms, 4),
+            "p95_ms": round(self.p95_ms, 4),
+            "p99_ms": round(self.p99_ms, 4),
+            "hops_per_query": round(self.hops_per_request, 4),
+            "hops": self.hops,
+            "charged_hops": self.charged_hops,
+            "embeddings": self.embeddings,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "wall_seconds": round(self.wall_seconds, 4),
+            "accounted_seconds": round(self.accounted_seconds, 4),
+            "router": self.router,
+            "zipf_s": self.zipf_s,
+            "hop_cost_us": self.hop_cost_us,
+        }
+
+
+class TrafficDriver:
+    """Sample and replay a frequency-weighted request stream."""
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        seed: int = 0,
+        zipf_s: float = 0.0,
+        hop_cost_us: float = 0.0,
+    ) -> None:
+        if zipf_s < 0:
+            raise ValueError("zipf_s must be non-negative")
+        if hop_cost_us < 0:
+            raise ValueError("hop_cost_us must be non-negative")
+        self.engine = engine
+        self.seed = seed
+        self.zipf_s = zipf_s
+        self.hop_cost_us = hop_cost_us
+
+    # ------------------------------------------------------------------
+    def sample(self, n: int) -> List[Tuple[str, int]]:
+        """A deterministic list of ``n`` ``(query name, root id)`` requests.
+
+        Queries are drawn by workload frequency; per query, roots by Zipf
+        weight ``1/(rank+1)^s`` over the sorted candidate list.  Queries
+        with no root candidates in the stores are excluded (nothing to
+        serve), with their weight renormalised over the rest.
+        """
+        rng = random.Random(self.seed)
+        names: List[str] = []
+        weights: List[float] = []
+        roots_of: Dict[str, List[int]] = {}
+        root_weights: Dict[str, List[float]] = {}
+        for entry in self.engine.workload:
+            name = entry.pattern.name
+            candidates = self.engine.root_candidates(name)
+            if not candidates:
+                continue
+            names.append(name)
+            weights.append(entry.frequency)
+            roots_of[name] = candidates
+            root_weights[name] = [(rank + 1) ** -self.zipf_s for rank in range(len(candidates))]
+        if not names:
+            raise ValueError("no workload query has root candidates in the stores")
+        picked = rng.choices(names, weights=weights, k=n)
+        return [
+            (name, rng.choices(roots_of[name], weights=root_weights[name], k=1)[0])
+            for name in picked
+        ]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        num_requests: int,
+        requests: Optional[Sequence[Tuple[str, int]]] = None,
+        system: str = "",
+    ) -> TrafficReport:
+        """Issue ``num_requests`` back-to-back; returns the report.
+
+        Pass ``requests`` to replay an externally sampled sequence (the
+        benchmark samples once and replays against every system) and
+        ``system`` to label the report.
+        """
+        if requests is None:
+            requests = self.sample(num_requests)
+        engine = self.engine
+        cache = engine.cache
+        hop_cost_s = self.hop_cost_us * 1e-6
+        latencies: List[float] = []
+        embeddings = hops = charged_hops = 0
+        hits0 = cache.hits if cache is not None else 0
+        misses0 = cache.misses if cache is not None else 0
+        perf_counter = time.perf_counter
+        wall_start = perf_counter()
+        for name, root in requests:
+            hits_before = cache.hits if cache is not None else 0
+            t0 = perf_counter()
+            result = engine.serve_root(name, root)
+            latency = perf_counter() - t0
+            hit = cache is not None and cache.hits > hits_before
+            if not hit:
+                # A miss walks the stores for real: charge the modelled
+                # network cost of every border crossing it performed.
+                latency += result.hops * hop_cost_s
+                charged_hops += result.hops
+            latencies.append(latency)
+            embeddings += result.num_embeddings
+            hops += result.hops
+        wall = perf_counter() - wall_start
+        latencies.sort()
+        return TrafficReport(
+            system=system,
+            requests=len(requests),
+            wall_seconds=wall,
+            accounted_seconds=sum(latencies),
+            p50_ms=percentile(latencies, 0.50) * 1e3,
+            p95_ms=percentile(latencies, 0.95) * 1e3,
+            p99_ms=percentile(latencies, 0.99) * 1e3,
+            embeddings=embeddings,
+            hops=hops,
+            charged_hops=charged_hops,
+            cache_hits=(cache.hits - hits0) if cache is not None else 0,
+            cache_misses=(cache.misses - misses0) if cache is not None else 0,
+            router=engine.router.name,
+            zipf_s=self.zipf_s,
+            hop_cost_us=self.hop_cost_us,
+        )

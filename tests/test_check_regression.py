@@ -42,6 +42,15 @@ class TestCollectGatedRows:
         )
         assert [r["label"] for r in rows] == ["<root>"]
 
+    def test_serving_shape(self):
+        rows = check_regression.collect_gated_rows(
+            {
+                "hash": {"queries_per_sec": 1000.0, "gain_vs_baseline": 1.0},
+                "loom": {"queries_per_sec": 1300.0, "gain_vs_baseline": 1.1},
+            }
+        )
+        assert sorted(r["label"] for r in rows) == ["hash", "loom"]
+
 
 class TestGate:
     def test_injected_slowdown_fails(self, tmp_path, capsys):
@@ -98,12 +107,35 @@ class TestGate:
         bad = _write(tmp_path, "bad.json", {"b": {"gain_vs_baseline": 0.1}})
         assert check_regression.main([good, bad]) == 1
 
+    def test_serving_rate_rendered(self, tmp_path, capsys):
+        """The serving payload's queries/s columns feed the delta table."""
+        path = _write(
+            tmp_path,
+            "serving.json",
+            {
+                "loom": {
+                    "queries_per_sec": 1300.0,
+                    "baseline_queries_per_sec": 1250.0,
+                    "gain_vs_baseline": 1.04,
+                }
+            },
+        )
+        assert check_regression.main([path]) == 0
+        out = capsys.readouterr().out
+        assert "1,300" in out and "1,250" in out
+
 
 class TestCommittedBaselines:
     """CI runs this gate against the committed payloads — they must pass."""
 
     @pytest.mark.parametrize(
-        "name", ["BENCH_throughput.json", "BENCH_matcher.json", "BENCH_scaling.json"]
+        "name",
+        [
+            "BENCH_throughput.json",
+            "BENCH_matcher.json",
+            "BENCH_scaling.json",
+            "BENCH_serving.json",
+        ],
     )
     def test_committed_payload_passes(self, name):
         path = REPO / name

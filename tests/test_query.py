@@ -244,6 +244,19 @@ class TestExecutor:
         report = executor.execute(state)
         assert report.queries[0].capped
         assert report.queries[0].embeddings == 5
+        # The report-level roll-up published tables surface (bench rows,
+        # partition_cli --stats): truncation must not pass silently.
+        assert report.capped
+        assert report.capped_queries == [wl[0].pattern.name]
+
+    def test_capped_rollup_false_when_unbound(self, fig1_graph, fig1_workload):
+        executor = WorkloadExecutor(fig1_graph, fig1_workload, embedding_limit=None)
+        state = PartitionState(1, 100)
+        for v in fig1_graph.vertices():
+            state.assign(v, 0)
+        report = executor.execute(state)
+        assert not report.capped
+        assert report.capped_queries == []
 
 
 @settings(max_examples=15, deadline=None)

@@ -1,0 +1,184 @@
+"""Cache correctness under streaming: on/off equality, sound invalidation.
+
+The promise under test: after any interleaving of ingest and serve
+rounds, a cached engine returns bit-identical results to an uncached one
+— which requires invalidation to fire for every cached root a new edge
+can affect, whether the edge arrives *inside* a partition or *across* the
+border.
+"""
+
+import pytest
+
+from helpers import make_random_labelled_graph
+
+from repro.graph.labelled_graph import LabelledGraph
+from repro.graph.stream import EdgeEvent, batched, stream_edges
+from repro.partitioning import registry
+from repro.partitioning.base import StreamingPartitioner
+from repro.partitioning.registry import BUILTIN_SYSTEMS
+from repro.partitioning.state import PartitionState
+from repro.query.pattern import cycle_pattern, path_pattern
+from repro.query.workload import Workload
+from repro.serving import ServingEngine
+
+
+class _ScriptedPartitioner(StreamingPartitioner):
+    """Places vertices by a fixed map — lets a test choose exactly which
+    arrivals are intra-partition and which cross the border."""
+
+    name = "scripted"
+
+    def __init__(self, state, placement):
+        super().__init__(state)
+        self._placement = placement
+
+    def ingest(self, event):
+        for v in event.endpoints():
+            if not self.state.is_assigned(v):
+                self.state.assign(v, self._placement[v])
+
+
+def _workload():
+    return Workload(
+        [
+            (path_pattern(["a", "b", "c"], name="abc"), 0.6),
+            (cycle_pattern(["a", "b", "a", "b"], name="abab"), 0.4),
+        ],
+        name="cache-test",
+    )
+
+
+def _serve_everything(engine):
+    """Every (query, root) result currently servable, as comparable data."""
+    out = []
+    for name in engine.query_names():
+        for root in engine.root_candidates(name):
+            result = engine.serve_root(name, root)
+            out.append((name, root, result.embeddings, result.hops))
+    return out
+
+
+@pytest.mark.parametrize("system", BUILTIN_SYSTEMS)
+def test_interleaved_ingest_serve_identical_with_and_without_cache(system):
+    """The satellite's acceptance: serve → ingest → serve … rounds produce
+    bit-identical results cached and uncached, for all four partitioners."""
+    full = make_random_labelled_graph(50, 110, seed=5)
+    workload = _workload()
+    events = list(stream_edges(full, "random", seed=1))
+
+    transcripts = {}
+    for cached in (True, False):
+        state = PartitionState.for_graph(4, full.num_vertices)
+        partitioner = registry.create(
+            system, state, graph=full, workload=workload, window_size=20, seed=0
+        )
+        engine = ServingEngine(
+            LabelledGraph("live"), state, workload, cache=cached, partitioner=partitioner
+        )
+        transcript = []
+        for chunk in batched(events, 23):
+            engine.ingest(chunk)
+            transcript.append(_serve_everything(engine))
+            # Re-serve immediately: with the cache on this round is pure
+            # hits and must still agree.
+            transcript.append(_serve_everything(engine))
+        engine.finalize()
+        transcript.append(_serve_everything(engine))
+        transcripts[cached] = transcript
+        if cached:
+            assert engine.cache.hits > 0
+            assert engine.cache.invalidations > 0  # streaming really invalidated
+    assert transcripts[True] == transcripts[False]
+
+
+def _fresh_engine_for(workload, placement, k=2):
+    state = PartitionState.for_graph(k, 8)
+    partitioner = _ScriptedPartitioner(state, placement)
+    engine = ServingEngine(
+        LabelledGraph("live"), state, workload, cache=True, partitioner=partitioner
+    )
+    return engine
+
+
+class TestTargetedInvalidation:
+    """Pinpoint the two arrival kinds the satellite names."""
+
+    def _run(self, third_vertex_partition):
+        # 'abc' roots at its b-labelled middle slot (rarest label, highest
+        # degree), so the cached root is vertex 2 itself.  All three query
+        # labels are present from the start, keeping the compiled plan
+        # fixed across the later arrival — the entry must fall to the
+        # radius rule, not to a plan recompile.
+        workload = Workload([(path_pattern(["a", "b", "c"], name="abc"), 1.0)], name="t")
+        placement = {1: 0, 2: 0, 3: third_vertex_partition, 4: 1}
+        engine = _fresh_engine_for(workload, placement)
+        engine.ingest([EdgeEvent(1, "a", 2, "b"), EdgeEvent(3, "c", 4, "a")])
+        root = engine.state.interner.id_of(2)
+        before = engine.serve_root("abc", root)
+        assert before.num_embeddings == 0
+        assert ("abc", root) in engine.cache
+        invalidations_before = engine.cache.invalidations
+        # The completing edge arrives: intra-partition when 3 shares
+        # partition 0 with the root, border when it lives in partition 1.
+        engine.ingest([EdgeEvent(2, "b", 3, "c")])
+        assert engine.cache.invalidations > invalidations_before
+        after = engine.serve_root("abc", root)
+        assert after.num_embeddings == 1
+        expected_hops = 0 if third_vertex_partition == 0 else 1
+        assert after.hops == expected_hops
+        # Equality with a cache-off engine over the same final state.
+        uncached = ServingEngine(engine.graph, engine.state, workload, cache=None)
+        reference = uncached.serve_root("abc", root)
+        assert (after.embeddings, after.hops) == (
+            reference.embeddings,
+            reference.hops,
+        )
+
+    def test_intra_partition_arrival_invalidates(self):
+        self._run(third_vertex_partition=0)
+
+    def test_border_arrival_invalidates(self):
+        self._run(third_vertex_partition=1)
+
+    def test_untouched_roots_stay_cached(self):
+        """Invalidation is targeted: roots farther than the query radius
+        from a new edge keep their entries."""
+        workload = Workload([(path_pattern(["a", "b"], name="ab"), 1.0)], name="t")
+        placement = {1: 0, 2: 0, 10: 1, 11: 1, 20: 0, 21: 1}
+        engine = _fresh_engine_for(workload, placement)
+        engine.ingest([EdgeEvent(1, "a", 2, "b"), EdgeEvent(10, "a", 11, "b")])
+        for root_vertex in (1, 10):
+            engine.serve_root("ab", engine.state.interner.id_of(root_vertex))
+        entries_before = set(engine.cache._entries)
+        # A far-away edge (a fresh component) cannot affect roots 1 or 10.
+        engine.ingest([EdgeEvent(20, "a", 21, "b")])
+        assert entries_before <= set(engine.cache._entries)
+
+
+def test_plan_change_drops_query_entries():
+    """Graph growth that re-roots a plan drops that query's cache rather
+    than serving entries whose root slot means something else now."""
+    workload = Workload([(path_pattern(["a", "b"], name="ab"), 1.0)], name="t")
+    placement = {i: 0 for i in range(1, 10)}
+    engine = _fresh_engine_for(workload, placement)
+    # One a, one b: labels tie, plan roots at the pattern's 'a' slot.
+    engine.ingest([EdgeEvent(1, "a", 2, "b")])
+    root = engine.state.interner.id_of(1)
+    engine.serve_root("ab", root)
+    assert len(engine.cache._entries) == 1
+    # Flood with 'a' vertices: 'b' becomes the rarest label and the plan
+    # re-roots; the old 'a'-rooted entries must not survive.
+    engine.ingest(
+        [EdgeEvent(3, "a", 4, "a"), EdgeEvent(5, "a", 6, "a"), EdgeEvent(2, "b", 7, "a")]
+    )
+    assert ("ab", root) not in engine.cache._entries
+    # And the served answers still match an uncached engine.
+    uncached = ServingEngine(engine.graph, engine.state, workload, cache=None)
+    for name in engine.query_names():
+        for r in engine.root_candidates(name):
+            cached_result = engine.serve_root(name, r)
+            fresh = uncached.serve_root(name, r)
+            assert (cached_result.embeddings, cached_result.hops) == (
+                fresh.embeddings,
+                fresh.hops,
+            )

@@ -5,6 +5,13 @@ worker processes, then shows what the merge had to resolve and what the
 partitioning quality paid for the parallelism — the trade
 `benchmarks/bench_scaling.py` measures systematically.
 
+Each worker's Loom runs the columnar ingest path by default: every queue
+batch is gated through the matcher's batch gate (one numpy classification
+per chunk), bypassed edges are tallied columnar, and only root-gate hits
+take the scalar matching core.  The per-shard `batches_offered` /
+`vector_bypassed` / `scalar_fallbacks` counters printed below come from
+exactly that machinery (see ARCHITECTURE.md, "Columnar execution").
+
 Run:  python examples/sharded_ingest.py
 """
 
@@ -55,7 +62,18 @@ def main() -> None:
             f"shard {r.shard_id}: {r.edges} edges in {r.ingest_seconds:.3f}s"
             for r in result.shard_results
         )
-        print(f"  worker timings:    {slices}\n")
+        print(f"  worker timings:    {slices}")
+        gates = ", ".join(
+            "shard {}: {} chunks, {} bypassed columnar, {} scalar fallbacks".format(
+                r.shard_id,
+                r.matcher_stats["batches_offered"],
+                r.matcher_stats["vector_bypassed"],
+                r.matcher_stats["scalar_fallbacks"],
+            )
+            for r in result.shard_results
+            if r.matcher_stats
+        )
+        print(f"  columnar gate:     {gates}\n")
 
     print(
         "Reading the numbers: one shard reproduces the single-process run\n"

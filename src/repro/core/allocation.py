@@ -279,7 +279,7 @@ class EqualOpportunism:
         if fallback:
             cluster_ids: Set[int] = set()
             for m in matches:
-                cluster_ids |= m.vertices
+                cluster_ids.update(m.vertices)
             if fallback_chooser is not None:
                 winner = fallback_chooser(cluster_ids)
             else:
@@ -291,8 +291,8 @@ class EqualOpportunism:
         edges: Set[int] = set()
         vertices: Set[int] = set()
         for m in assigned:
-            edges |= m.edges
-            vertices |= m.vertices
+            edges.update(m.edges)
+            vertices.update(m.vertices)
         assign_id = self.state.assign_id
         for vid in sorted(vertices):  # id order: deterministic, repr-free
             if vid < n and assignment[vid] >= 0:

@@ -1,0 +1,276 @@
+"""Columnar (numpy) execution support for the stream matcher.
+
+The MotifPlan already lowered labels, motif states and factor deltas to
+dense ints; this module lowers the *batch* dimension: whole edge batches
+are classified, probed and tallied as int64 columns instead of one Python
+object at a time.  Three pieces:
+
+* :func:`classify_roots` — the batch form of Sec. 3's single-edge gate
+  verdict: given the per-edge root-state column from
+  :meth:`~repro.core.matching.StreamMatcher.gate_batch`, one numpy pass
+  splits a batch into windowed edges (root probe hit — these fall back to
+  the scalar extension/join path, preserving bit-exactness) and bypassed
+  edges (tallied columnar, never touching the per-edge machinery).
+* :class:`PlanTables` — the plan's root and successor probe dicts compiled
+  to **sorted int64 arrays**, so a whole column of packed signatures or
+  ``(state << shift) | delta`` keys is answered with one
+  ``np.searchsorted`` + ``np.take`` instead of per-key dict probes.
+  Misses map to :data:`~repro.core.plan.NO_STATE` / ``-1`` exactly as the
+  dict form does (``tests/test_columnar.py`` proves agreement key by key,
+  including misses), so collision semantics are inherited unchanged from
+  the plan — the tables are a representation change, not a re-derivation.
+* :class:`GrowableIntColumn` — the growable int64 array behind the sliding
+  window's mirrors (:class:`~repro.core.window.WindowColumns`): scalar
+  appends/updates land in an ``array('q')`` (C ints, no per-element
+  boxing on the hot path) while :meth:`GrowableIntColumn.view` exposes the
+  same memory to numpy **zero-copy** for batch consumers.
+
+numpy is a real dependency of the package (``pyproject.toml`` declares the
+floor version); the import error below exists to fail fast with an
+actionable message when an environment was hand-rolled without it.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+try:
+    import numpy as np
+except ImportError as exc:  # pragma: no cover - environment guard
+    raise ImportError(
+        "repro's columnar matcher requires numpy (declared in pyproject.toml; "
+        "install with `pip install 'numpy>=1.22'` or reinstall the package "
+        "with its dependencies). The scalar path also imports this module "
+        "for the window mirrors, so numpy is not optional."
+    ) from exc
+
+from repro.core.plan import NO_STATE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.plan import MotifPlan
+
+_INT64 = np.int64
+
+
+class GrowableIntColumn:
+    """An append/update-friendly int64 column with zero-copy numpy views.
+
+    Scalar writes (the per-edge path) go through :meth:`append` /
+    ``col[i] = x`` on a C ``array('q')`` — no numpy call overhead, no
+    object boxing beyond the int itself.  Batch reads (the columnar path)
+    call :meth:`view`, an ``np.frombuffer`` over the array's live buffer:
+    **zero-copy**, but only valid until the next growth (a reallocation
+    moves the buffer), so consumers take a fresh view per batch and never
+    cache one across mutations.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, initial: Sequence[int] = ()) -> None:
+        self._data = array("q", initial)
+
+    def append(self, value: int) -> None:
+        self._data.append(value)
+
+    def extend(self, values: Sequence[int]) -> None:
+        self._data.extend(values)
+
+    def grow_to(self, size: int, fill: int = 0) -> None:
+        """Ensure the column holds at least ``size`` entries (new entries
+        are ``fill``)."""
+        short = size - len(self._data)
+        if short > 0:
+            self._data.extend([fill] * short)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getitem__(self, i: int) -> int:
+        return self._data[i]
+
+    def __setitem__(self, i: int, value: int) -> None:
+        self._data[i] = value
+
+    def view(self) -> "np.ndarray":
+        """A zero-copy ``np.int64`` view of the current contents.
+
+        Invalidated by the next append/growth — take per batch, do not
+        cache.  An empty column views as an empty array.
+        """
+        data = self._data
+        if not data:
+            return np.empty(0, dtype=_INT64)
+        return np.frombuffer(data, dtype=_INT64)
+
+    def tolist(self) -> List[int]:
+        return self._data.tolist()
+
+
+class WindowColumns:
+    """Int64 mirrors of the sliding window, maintained alongside the dicts.
+
+    The dict window (FIFO, adjacency, labels) stays the source of truth —
+    eviction order and duplicate detection are inherently keyed lookups.
+    The mirrors give batch consumers the window's *shape* as columns
+    without a per-batch rebuild:
+
+    * :attr:`ekeys` / :attr:`us` / :attr:`vs` — the **arrival log**: one
+      row per newly buffered edge (packed key + endpoint ids), append-only
+      in stream order.  Rows are never retracted on eviction (a log, not a
+      membership set); ``len(log) == stats.edges_windowed`` by
+      construction.
+    * :attr:`degrees` — live window degree per vertex id (mirror of
+      ``len(window._adj[vid])``, 0 when absent), updated on every add and
+      removal.
+
+    Writes are scalar ``array('q')`` operations on the per-edge path;
+    reads are zero-copy numpy views (:meth:`GrowableIntColumn.view`).
+    ``tests/test_columnar.py`` pins mirror/dict agreement under randomized
+    add/remove interleavings.
+    """
+
+    __slots__ = ("ekeys", "us", "vs", "degrees")
+
+    def __init__(self) -> None:
+        self.ekeys = GrowableIntColumn()
+        self.us = GrowableIntColumn()
+        self.vs = GrowableIntColumn()
+        self.degrees = GrowableIntColumn()
+
+    def record_add(self, uid: int, vid: int, ekey: int) -> None:
+        """Mirror one newly buffered edge (the window calls this exactly
+        when an edge enters ``_events``)."""
+        self.ekeys.append(ekey)
+        self.us.append(uid)
+        self.vs.append(vid)
+        degrees = self.degrees
+        top = (uid if uid > vid else vid) + 1
+        if len(degrees) < top:
+            degrees.grow_to(top)
+        degrees[uid] += 1
+        degrees[vid] += 1
+
+    def record_remove(self, uid: int, vid: int) -> None:
+        """Mirror one removed edge (cluster allocation / eviction)."""
+        degrees = self.degrees
+        degrees[uid] -= 1
+        degrees[vid] -= 1
+
+    def arrival_view(self) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+        """``(ekeys, us, vs)`` of the arrival log as zero-copy views."""
+        return self.ekeys.view(), self.us.view(), self.vs.view()
+
+    def degree_view(self) -> "np.ndarray":
+        """Live window degrees by vertex id (zero-copy view; ids past the
+        column's length have never been windowed — degree 0)."""
+        return self.degrees.view()
+
+
+def classify_roots(roots: Sequence[int]) -> Tuple[List[int], int]:
+    """Split a batch's root-state column into the columnar gate verdict.
+
+    Returns ``(windowed_indices, num_bypassed)``: the (ascending) batch
+    positions whose root probe hit — exactly the edges the scalar path
+    would have windowed, in stream order — and the count of bypassed
+    edges (``root < 0``, Sec. 3's early exit).  One vectorised comparison
+    replaces the per-edge branch; the indices come back as plain Python
+    ints because the caller immediately uses them to index Python lists.
+    """
+    n = len(roots)
+    if n == 0:
+        return [], 0
+    arr = np.fromiter(roots, dtype=_INT64, count=n)
+    windowed = np.flatnonzero(arr >= 0)
+    return windowed.tolist(), n - int(windowed.size)
+
+
+class PlanTables:
+    """Sorted-array compilation of a plan's two probe tables.
+
+    Built once per plan from the canonical dicts
+    (``MotifPlan._roots_by_sig`` and ``MotifPlan._successors`` — in-package
+    binding of compiled internals, like the matcher's): keys are sorted
+    into int64 arrays, values into aligned columns, and a whole batch of
+    probes is answered by ``np.searchsorted`` + bounds/equality masking.
+    Misses return :data:`~repro.core.plan.NO_STATE` (roots) or ``-1``
+    (successor rows), mirroring the dict ``.get`` defaults bit for bit.
+    """
+
+    __slots__ = (
+        "root_sigs",
+        "root_states",
+        "succ_keys",
+        "succ_row_ids",
+        "succ_rows",
+    )
+
+    def __init__(self, plan: "MotifPlan") -> None:
+        root_items = sorted(plan._roots_by_sig.items())
+        #: Sorted packed single-edge signatures with motif roots.
+        self.root_sigs = np.fromiter(
+            (sig for sig, _ in root_items), dtype=_INT64, count=len(root_items)
+        )
+        #: Root state ids aligned with :attr:`root_sigs`.
+        self.root_states = np.fromiter(
+            (state for _, state in root_items), dtype=_INT64, count=len(root_items)
+        )
+        succ_items = sorted(plan._successors.items())
+        #: Sorted packed ``(state << delta_shift) | delta_id`` keys.
+        self.succ_keys = np.fromiter(
+            (key for key, _ in succ_items), dtype=_INT64, count=len(succ_items)
+        )
+        self.succ_row_ids = np.arange(len(succ_items), dtype=_INT64)
+        #: Successor state tuples aligned with :attr:`succ_keys` (row id →
+        #: children; rows stay Python tuples — the scalar growth consumes
+        #: them one match at a time).
+        self.succ_rows: Tuple[Tuple[int, ...], ...] = tuple(
+            kept for _, kept in succ_items
+        )
+
+    @classmethod
+    def from_plan(cls, plan: "MotifPlan") -> "PlanTables":
+        return cls(plan)
+
+    @staticmethod
+    def _lookup(
+        keys: "np.ndarray", table: "np.ndarray", values: "np.ndarray", miss: int
+    ) -> "np.ndarray":
+        """Batch dict-``get``: ``values[i]`` where ``table`` holds the key,
+        ``miss`` elsewhere (the searchsorted idiom: clip, compare, mask)."""
+        if table.size == 0:
+            return np.full(keys.shape, miss, dtype=_INT64)
+        pos = np.searchsorted(table, keys)
+        pos_c = np.minimum(pos, table.size - 1)
+        hit = table[pos_c] == keys
+        out = np.full(keys.shape, miss, dtype=_INT64)
+        out[hit] = values[pos_c[hit]]
+        return out
+
+    def probe_roots(self, sigs: "np.ndarray") -> "np.ndarray":
+        """Root states for a column of packed single-edge signatures
+        (:data:`~repro.core.plan.NO_STATE` where no single-edge motif
+        matches — the batch twin of ``_roots_by_sig.get``)."""
+        return self._lookup(
+            np.asarray(sigs, dtype=_INT64), self.root_sigs, self.root_states, NO_STATE
+        )
+
+    def probe_successor_rows(self, keys: "np.ndarray") -> "np.ndarray":
+        """Row ids into :attr:`succ_rows` for a column of packed successor
+        keys (``-1`` = no successors — the batch twin of
+        ``_successors.get``)."""
+        return self._lookup(
+            np.asarray(keys, dtype=_INT64), self.succ_keys, self.succ_row_ids, -1
+        )
+
+    def successors_for_rows(self, row_ids: "np.ndarray") -> List[Optional[Tuple[int, ...]]]:
+        """Materialise probed rows as the scalar path's children tuples
+        (``None`` for misses)."""
+        rows = self.succ_rows
+        return [rows[r] if r >= 0 else None for r in row_ids.tolist()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PlanTables roots={self.root_sigs.size} "
+            f"successor_rows={self.succ_keys.size}>"
+        )

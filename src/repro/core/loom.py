@@ -27,12 +27,14 @@ from __future__ import annotations
 from typing import Dict, Optional, Set
 
 from repro.core.allocation import DEFAULT_ALPHA, DEFAULT_BALANCE_CAP, EqualOpportunism
+from repro.core.columnar import classify_roots
 from repro.core.matching import StreamMatcher
 from repro.core.motifs import MotifIndex
 from repro.core.signature import DEFAULT_PRIME, SignatureScheme
 from repro.core.tpstry import TPSTry
+from repro.core.window import LabelConflictError
 from repro.graph.labelled_graph import Vertex
-from repro.graph.stream import EdgeEvent
+from repro.graph.stream import EdgeEvent, batched
 from repro.partitioning.base import StreamingPartitioner
 from repro.partitioning.ldg import ldg_choose_ids
 from repro.partitioning.state import PartitionState
@@ -43,6 +45,9 @@ DEFAULT_SUPPORT_THRESHOLD = 0.4
 
 DEFAULT_WINDOW_SIZE = 10_000
 """The paper's default window: 10k edges (Sec. 5.1)."""
+
+DEFAULT_INGEST_BATCH_SIZE = 2_048
+"""Events per columnar gate chunk (matches the runtime's queue batch)."""
 
 
 class LoomPartitioner(StreamingPartitioner):
@@ -65,7 +70,11 @@ class LoomPartitioner(StreamingPartitioner):
         rationing_enabled: bool = True,
         support_weighting: bool = True,
         neighbor_aware_bids: bool = False,
+        columnar: bool = True,
+        batch_size: int = DEFAULT_INGEST_BATCH_SIZE,
     ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
         super().__init__(state)
         self.workload = workload
         self.scheme = scheme or SignatureScheme(workload.label_set(), p=prime, seed=seed)
@@ -105,6 +114,12 @@ class LoomPartitioner(StreamingPartitioner):
                 (lambda vid: self._adj.get(vid, ())) if neighbor_aware_bids else None
             ),
         )
+        #: Columnar batch ingestion: gate whole chunks through the matcher's
+        #: batch gate + numpy root classification instead of per-edge probes.
+        #: Off (``columnar=False``) falls back to the per-edge scalar loop —
+        #: the two are bit-identical (tests/test_columnar.py).
+        self.columnar = columnar
+        self.batch_size = batch_size
         self.stats = {
             "immediate_assignments": 0,
             "evictions": 0,
@@ -151,15 +166,28 @@ class LoomPartitioner(StreamingPartitioner):
             self._evict_once()
 
     def ingest_batch(self, events) -> int:
-        """Batch-offer entry point: :meth:`ingest` semantics, hot locals
-        bound once per batch.
+        """Batch-offer entry point: :meth:`ingest` semantics over a whole
+        iterable of events.
 
-        The per-event path re-binds the interner, adjacency and window
-        views on every call; at sharded-runtime rates (thousands of events
-        per queue batch) hoisting those binds out of the loop is the whole
-        point of batching.  The body is the ``ingest`` body verbatim —
-        ``tests/test_runtime.py`` pins batch/per-event equivalence.
+        With :attr:`columnar` on (the default) the stream is chunked
+        (``batch_size`` events at a time) and each chunk's single-edge gate
+        runs once as a column — :meth:`StreamMatcher.gate_batch` plus one
+        numpy classification — before the per-event walk.  Edges the gate
+        bypassed skip the matcher entirely (LDG placement only); edges it
+        windowed fall back to the scalar matching core in stream order, so
+        placements, window contents and all core matcher counters are
+        bit-identical to the scalar loop (``tests/test_columnar.py`` and
+        ``tests/test_runtime.py`` pin both equivalences).
         """
+        if self.columnar:
+            return self._ingest_batch_columnar(events)
+        return self._ingest_batch_scalar(events)
+
+    def _ingest_batch_scalar(self, events) -> int:
+        """The pre-columnar batch loop: :meth:`ingest` semantics, hot
+        locals bound once per batch (the body is the ``ingest`` body
+        verbatim).  Kept as the ``columnar=False`` escape hatch and the
+        equivalence oracle for the columnar path."""
         intern = self.state.interner.intern
         adj = self._adj
         offer = self.matcher.offer
@@ -191,6 +219,87 @@ class LoomPartitioner(StreamingPartitioner):
                     while len(window_events) > window_capacity:
                         evict_once()
                 count += 1
+        finally:
+            self.edges_ingested += count
+        return count
+
+    def _ingest_batch_columnar(self, events) -> int:
+        """The columnar batch loop: one gate pass per chunk, scalar
+        matching core per windowed edge.
+
+        The chunk's root column is computed up front (pure — no matcher
+        state beyond memo tables), then every event is walked **in stream
+        order**: interning and the seen-so-far adjacency must interleave
+        with placements because LDG reads the adjacency as of the edge's
+        arrival, and an eviction triggered by windowed edge *i* must see
+        exactly the adjacency the scalar loop would have built by *i*.
+        The matcher's gate counters are pre-added per chunk and rolled
+        back for the unreached tail if a
+        :class:`~repro.core.window.LabelConflictError` aborts the chunk —
+        the same accounting :meth:`StreamMatcher.offer_batch` does.
+        """
+        intern = self.state.interner.intern
+        adj = self._adj
+        matcher = self.matcher
+        gate_batch = matcher.gate_batch
+        absorb = matcher._absorb
+        mstats = matcher.stats
+        window_events = self._window_events
+        window_capacity = self._window_capacity
+        stats = self.stats
+        ldg_place = self._ldg_place
+        evict_once = self._evict_once
+        count = 0
+        try:
+            for chunk in batched(events, self.batch_size):
+                roots, lus, lvs = gate_batch(chunk)
+                windowed_idx, num_bypassed = classify_roots(roots)
+                n = len(chunk)
+                hits = len(windowed_idx)
+                mstats.edges_offered += n
+                mstats.edges_bypassed += num_bypassed
+                mstats.vector_bypassed += num_bypassed
+                mstats.root_hits += hits
+                mstats.scalar_fallbacks += hits
+                pos = 0
+                next_windowed = windowed_idx[0] if hits else -1
+                for i, event in enumerate(chunk):
+                    uid = intern(event.u)
+                    vid = intern(event.v)
+                    bucket = adj.get(uid)
+                    if bucket is None:
+                        adj[uid] = {vid}
+                    else:
+                        bucket.add(vid)
+                    bucket = adj.get(vid)
+                    if bucket is None:
+                        adj[vid] = {uid}
+                    else:
+                        bucket.add(uid)
+                    if i == next_windowed:
+                        try:
+                            absorb(event, uid, vid, roots[i], lus[i], lvs[i])
+                        except LabelConflictError:
+                            # Un-count the gate verdicts of the edges the
+                            # scalar loop would never have reached.
+                            trailing = n - 1 - i
+                            hits_after = hits - pos - 1
+                            bypassed_after = trailing - hits_after
+                            mstats.edges_offered -= trailing
+                            mstats.root_hits -= hits_after
+                            mstats.scalar_fallbacks -= hits_after
+                            mstats.edges_bypassed -= bypassed_after
+                            mstats.vector_bypassed -= bypassed_after
+                            raise
+                        pos += 1
+                        next_windowed = windowed_idx[pos] if pos < hits else -1
+                        while len(window_events) > window_capacity:
+                            evict_once()
+                    else:
+                        ldg_place(event.u, uid)
+                        ldg_place(event.v, vid)
+                        stats["immediate_assignments"] += 1
+                    count += 1
         finally:
             self.edges_ingested += count
         return count

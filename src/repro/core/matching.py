@@ -27,12 +27,33 @@ interner ids, edges are packed id pairs
 (:func:`~repro.graph.interning.pack_edge`), labels are
 :class:`~repro.graph.interning.LabelInterner` ids shared between the plan
 and the window's id → label map, motifs are dense plan state ids carried in
-:class:`Match`, and both of Alg. 2's lookups are single int-keyed dict
-probes against tables the plan pre-computed from the TPSTry++.  Per-state
-facts (support, extensibility) are flat array reads.  Every ordering —
-match sort keys, ``_grow``'s edge order — is a plain integer comparison;
-``repr()``-string orderings are banned on this path (they were both slow
-and, for address-based default reprs, a cross-run determinism bug).
+:class:`Match`, and both of Alg. 2's lookups are single int-keyed probes
+against tables the plan pre-computed from the TPSTry++.  Per-state facts
+(support, extensibility) are flat array reads.
+
+Since the columnar lowering, the matchList itself runs on **dense match
+ids**: every registered match gets a small integer handle into an arena
+(:class:`MatchList`), the per-vertex and per-edge indexes hold *sets of
+ints* rather than sets of :class:`Match` objects, and duplicate detection
+is one dict probe keyed by the match's canonical ``(edges, state)`` pair.
+That keeps Python-level ``__hash__``/``__eq__`` dispatch — which dominated
+the object-keyed matchList — entirely off the per-edge path: every hot
+container operation hashes machine ints or flat int tuples in C.  A match's
+edge set is a **sorted tuple** of packed keys (canonical, so the sort key
+needs no per-use sorting), and every ordering — match sort keys,
+``_grow``'s edge order — is a plain integer comparison; ``repr()``-string
+orderings are banned on this path (they were both slow and, for
+address-based default reprs, a cross-run determinism bug).
+
+Batch arrival goes through :meth:`StreamMatcher.offer_batch` /
+:meth:`StreamMatcher.gate_batch`: the single-edge gate for a whole batch is
+answered columnar (one numpy classification over per-edge root-state
+columns; see :mod:`repro.core.columnar`), bypassed edges never reach the
+per-edge machinery, and only edges whose root probe actually hits fall back
+to the scalar extension/join path — which is shared verbatim with
+:meth:`offer`, so batch and scalar runs are bit-identical
+(``tests/test_columnar.py`` pins it).
+
 Vertex objects are translated back only at the public boundary
 (:meth:`StreamMatcher.resolve_vertices` / :meth:`StreamMatcher.resolve_edges`);
 trie nodes are reachable for debugging through ``plan.node_of(state)``.
@@ -45,7 +66,17 @@ its effect is measured in the ablation benchmarks.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.core.motifs import MotifIndex
 from repro.core.plan import MotifPlan
@@ -54,31 +85,34 @@ from repro.graph.interning import EDGE_MASK, EDGE_SHIFT, VertexInterner, pack_ed
 from repro.graph.labelled_graph import Vertex
 from repro.graph.stream import EdgeEvent
 
-EdgeSet = FrozenSet[int]
-"""A set of packed edge keys (see :func:`~repro.graph.interning.pack_edge`)."""
+EdgeTuple = Tuple[int, ...]
+"""A match's edge set: packed edge keys (see
+:func:`~repro.graph.interning.pack_edge`), sorted ascending (canonical)."""
 
 _NO_MATCHES: Set["Match"] = set()
 """Shared empty result for matchList misses — the lookups run per candidate
 edge, and allocating a fresh ``set()`` default per miss was measurable."""
 
-
 class Match:
     """A sub-graph of window edges matching a motif (an entry of matchList).
 
-    ``edges`` holds packed edge keys, ``vertices`` interner ids and
-    ``state`` a dense :class:`~repro.core.plan.MotifPlan` state id; all
-    integers end to end.  ``support`` is the state's support, denormalised
-    into the match because the auction and every sort key read it."""
+    ``edges`` holds packed edge keys as a **sorted tuple** (canonical — two
+    matches are equal iff their states and edge tuples are), ``vertices``
+    interner ids and ``state`` a dense :class:`~repro.core.plan.MotifPlan`
+    state id; all integers end to end.  ``support`` is the state's support,
+    denormalised into the match because the auction and every sort key read
+    it.  Any iterable of packed keys is accepted and canonicalised."""
 
     __slots__ = ("edges", "state", "support", "vertices", "_degrees", "_hash", "_sort_key")
 
     def __init__(
         self,
-        edges: EdgeSet,
+        edges: Iterable[int],
         state: int,
         support: float,
         _degrees: Optional[Dict[int, int]] = None,
     ) -> None:
+        edges = tuple(sorted(edges))
         self.edges = edges
         self.state = state
         self.support = support
@@ -88,9 +122,13 @@ class Match:
         # after construction, so sharing is safe.
         degrees = _edge_set_degrees(edges) if _degrees is None else _degrees
         self._degrees = degrees
-        self.vertices: FrozenSet[int] = frozenset(degrees)
-        self._hash = hash((self.edges, state))
-        self._sort_key: Optional[Tuple[float, int, Tuple[int, ...]]] = None
+        self.vertices: Tuple[int, ...] = tuple(degrees)
+        self._hash = hash((edges, state))
+        # Support-descending order with deterministic tie-breaks (Sec. 4):
+        # smaller matches first among equals, then by the canonical edge
+        # tuple — an integer comparison, stable across runs and hash seeds.
+        # Eager: the edges are already sorted, so this is three refs.
+        self._sort_key: Tuple[float, int, EdgeTuple] = (-support, len(edges), edges)
 
     @property
     def num_edges(self) -> int:
@@ -114,17 +152,8 @@ class Match:
             and self.edges == other.edges
         )
 
-    def sort_key(self) -> Tuple[float, int, Tuple[int, ...]]:
-        """Support-descending order with deterministic tie-breaks (Sec. 4):
-        smaller matches first among equals, then by sorted edge keys — an
-        integer comparison, stable across runs and hash seeds.  Cached —
-        the matcher sorts match sets on every edge arrival."""
-        if self._sort_key is None:
-            self._sort_key = (
-                -self.support,
-                len(self.edges),
-                tuple(sorted(self.edges)),
-            )
+    def sort_key(self) -> Tuple[float, int, EdgeTuple]:
+        """The eviction/auction sort key (see ``_sort_key`` above)."""
         return self._sort_key
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -134,100 +163,129 @@ class Match:
 class MatchList:
     """The matchList map of Sec. 3, indexed by vertex id *and* by edge key.
 
-    The vertex index answers Alg. 2's "matches connected to this edge"; the
-    edge index answers eviction's "matches containing this edge" and the
-    cluster-removal cascade.
+    Internally an **arena**: each live match owns a dense int id; the vertex
+    index (Alg. 2's "matches connected to this edge") and the edge index
+    (eviction's "matches containing this edge") hold sets of those ids, and
+    duplicate detection is one dict probe keyed ``(edges, state)``.  Hot
+    container operations therefore hash ints and int tuples in C — the
+    matcher binds the id-level internals directly (in-package inner-loop
+    binding, ARCHITECTURE.md).  The public API stays object-level: lookups
+    return :class:`Match` sets, so boundary callers never see ids.  Ids of
+    dropped matches are recycled through a free list, which bounds the
+    arena at the live high-water mark on unbounded streams.
     """
 
     def __init__(self) -> None:
-        self._by_vertex: Dict[int, Set[Match]] = {}
-        self._by_edge: Dict[int, Set[Match]] = {}
-        self._all: Set[Match] = set()
+        self._arena: List[Optional[Match]] = []
+        self._keys: List[Optional[Tuple[float, int, EdgeTuple]]] = []
+        self._ids: Dict[Tuple[EdgeTuple, int], int] = {}
+        self._by_vertex: Dict[int, Set[int]] = {}
+        self._by_edge: Dict[int, Set[int]] = {}
+        self._free: List[int] = []
 
+    # -- id plumbing (shared with StreamMatcher's inlined register) -------
+    def _alloc_mid(self) -> int:
+        if self._free:
+            return self._free.pop()
+        mid = len(self._arena)
+        self._arena.append(None)
+        self._keys.append(None)
+        return mid
+
+    def _install(self, mid: int, match: Match) -> None:
+        self._arena[mid] = match
+        self._keys[mid] = match._sort_key
+        self._ids[(match.edges, match.state)] = mid
+
+    def _evict_mid(self, mid: int) -> Match:
+        """Remove one live match by id from every index; returns it."""
+        match = self._arena[mid]
+        assert match is not None
+        del self._ids[(match.edges, match.state)]
+        by_vertex = self._by_vertex
+        for vid in match.vertices:
+            bucket = by_vertex.get(vid)
+            if bucket is not None:
+                bucket.discard(mid)
+                if not bucket:
+                    del by_vertex[vid]
+        by_edge = self._by_edge
+        for ekey in match.edges:
+            bucket = by_edge.get(ekey)
+            if bucket is not None:
+                bucket.discard(mid)
+                if not bucket:
+                    del by_edge[ekey]
+        self._arena[mid] = None
+        self._keys[mid] = None
+        self._free.append(mid)
+        return match
+
+    # -- public object-level API ------------------------------------------
     def add(self, match: Match) -> bool:
-        if match in self._all:
+        if (match.edges, match.state) in self._ids:
             return False
-        self._all.add(match)
+        mid = self._alloc_mid()
+        self._install(mid, match)
         by_vertex = self._by_vertex
         for vid in match.vertices:
             bucket = by_vertex.get(vid)
             if bucket is None:
-                by_vertex[vid] = {match}
+                by_vertex[vid] = {mid}
             else:
-                bucket.add(match)
+                bucket.add(mid)
         by_edge = self._by_edge
         for ekey in match.edges:
             bucket = by_edge.get(ekey)
             if bucket is None:
-                by_edge[ekey] = {match}
+                by_edge[ekey] = {mid}
             else:
-                bucket.add(match)
+                bucket.add(mid)
         return True
 
     def discard(self, match: Match) -> None:
-        if match not in self._all:
-            return
-        self._all.discard(match)
-        for vid in match.vertices:
-            bucket = self._by_vertex.get(vid)
-            if bucket is not None:
-                bucket.discard(match)
-                if not bucket:
-                    del self._by_vertex[vid]
-        for ekey in match.edges:
-            bucket = self._by_edge.get(ekey)
-            if bucket is not None:
-                bucket.discard(match)
-                if not bucket:
-                    del self._by_edge[ekey]
+        mid = self._ids.get((match.edges, match.state))
+        if mid is not None:
+            self._evict_mid(mid)
 
     def matches_at(self, vid: int) -> Set[Match]:
-        """The live match set at a vertex id (treat as read-only; a shared
-        empty set is returned for vertices with no matches)."""
-        return self._by_vertex.get(vid, _NO_MATCHES)
+        """The live match set at a vertex id (a fresh set; the shared empty
+        set is returned for vertices with no matches)."""
+        bucket = self._by_vertex.get(vid)
+        if not bucket:
+            return _NO_MATCHES
+        arena = self._arena
+        return {arena[mid] for mid in bucket}
 
     def matches_containing_edge(self, ekey: int) -> Set[Match]:
-        """The live match set of an edge key (treat as read-only)."""
-        return self._by_edge.get(ekey, _NO_MATCHES)
+        """The live match set of an edge key (a fresh set)."""
+        bucket = self._by_edge.get(ekey)
+        if not bucket:
+            return _NO_MATCHES
+        arena = self._arena
+        return {arena[mid] for mid in bucket}
 
     def drop_edges(self, ekeys: Iterable[int]) -> Set[Match]:
         """Remove every match containing any of ``ekeys``; returns them.
 
-        The eviction cascade runs this once per window slide; the discard
-        body is inlined (membership is guaranteed — doomed matches come
-        from the edge index itself)."""
-        by_vertex = self._by_vertex
+        The eviction cascade runs this once per window slide."""
         by_edge = self._by_edge
-        doomed: Set[Match] = set()
+        doomed: Set[int] = set()
         for ekey in ekeys:
             bucket = by_edge.get(ekey)
             if bucket:
                 doomed |= bucket
-        all_matches = self._all
-        for match in doomed:
-            all_matches.discard(match)
-            for vid in match.vertices:
-                bucket = by_vertex.get(vid)
-                if bucket is not None:
-                    bucket.discard(match)
-                    if not bucket:
-                        del by_vertex[vid]
-            for ekey in match.edges:
-                bucket = by_edge.get(ekey)
-                if bucket is not None:
-                    bucket.discard(match)
-                    if not bucket:
-                        del by_edge[ekey]
-        return doomed
+        evict = self._evict_mid
+        return {evict(mid) for mid in doomed}
 
     def __len__(self) -> int:
-        return len(self._all)
+        return len(self._ids)
 
     def __contains__(self, match: Match) -> bool:
-        return match in self._all
+        return (match.edges, match.state) in self._ids
 
     def all_matches(self) -> Set[Match]:
-        return set(self._all)
+        return {m for m in self._arena if m is not None}
 
 
 @dataclass
@@ -251,6 +309,15 @@ class MatcherStats:
     lookups (extension + pair-join growth), ``leaf_gate_skips`` counts
     matches whose non-extensible (leaf-motif) state let the matcher skip
     the factor arithmetic entirely.
+
+    The last three are **batch counters**, non-zero only on the columnar
+    path: ``batches_offered`` counts :meth:`StreamMatcher.offer_batch` /
+    :meth:`StreamMatcher.gate_batch` invocations, ``vector_bypassed``
+    counts edges the columnar gate classified out without touching the
+    per-edge machinery, and ``scalar_fallbacks`` counts edges whose root
+    probe hit and therefore took the scalar extension/join path.  Batch
+    and scalar runs of the same stream agree on every *other* counter
+    bit for bit (``MatcherStats.core_counters`` is the comparison key).
     """
 
     plan_states: int = 0
@@ -264,9 +331,23 @@ class MatcherStats:
     root_hits: int = 0
     extension_probes: int = 0
     leaf_gate_skips: int = 0
+    batches_offered: int = 0
+    vector_bypassed: int = 0
+    scalar_fallbacks: int = 0
+
+    BATCH_COUNTERS = ("batches_offered", "vector_bypassed", "scalar_fallbacks")
 
     def as_dict(self) -> Dict[str, int]:
         return asdict(self)
+
+    def core_counters(self) -> Dict[str, int]:
+        """Everything except the batch counters — identical between a
+        scalar and a columnar run of the same stream (the equivalence
+        suites compare this)."""
+        d = asdict(self)
+        for name in self.BATCH_COUNTERS:
+            del d[name]
+        return d
 
 
 class StreamMatcher:
@@ -299,17 +380,23 @@ class StreamMatcher:
         self.matchlist = MatchList()
         self.max_matches_per_vertex = max_matches_per_vertex
         self.stats = MatcherStats(plan_states=plan.num_states)
-        # MatchList internals, bound once (dict identities are stable):
-        # registration runs several times per windowed edge.
-        self._ml_by_vertex = self.matchlist._by_vertex
-        self._ml_by_edge = self.matchlist._by_edge
-        self._ml_all = self.matchlist._all
+        # MatchList internals, bound once (list/dict identities are
+        # stable): registration runs several times per windowed edge, and
+        # every bucket holds plain ints — no Match.__hash__ dispatch.
+        ml = self.matchlist
+        self._ml_arena = ml._arena
+        self._ml_keys = ml._keys
+        self._ml_ids = ml._ids
+        self._ml_by_vertex = ml._by_vertex
+        self._ml_by_edge = ml._by_edge
+        self._ml_free = ml._free
         # Plan tables, bound once: these probes run per candidate edge at
         # streaming rates (in-package inner-loop binding, ARCHITECTURE.md).
         self._root_entry = plan.root_entry
+        self._root_memo = plan._root_memo
         self._support = plan.support
         self._extensible = plan.extensible
-        self._successors = plan._successors
+        self._successor_rows = plan.successor_rows
         self._delta_shift = plan._delta_shift
         self._delta_memo = plan._delta_memo
         self._delta_slow = plan.delta_id
@@ -350,19 +437,139 @@ class StreamMatcher:
             intern = self.interner.intern
             uid = intern(event.u)
             vid = intern(event.v)
+        self._absorb(event, uid, vid, root, lu, lv)
+        return True
+
+    def gate_batch(
+        self, events: Sequence[EdgeEvent]
+    ) -> Tuple[List[int], List[int], List[int]]:
+        """The single-edge gate for a whole batch: per-edge columns
+        ``(roots, lus, lvs)``, where ``roots[i] < 0`` means event ``i``
+        can never join a motif match (the Sec. 3 bypass).
+
+        Pure — no matcher state changes beyond the plan's memo tables, so
+        callers are free to interleave the classification with their own
+        per-edge work (Loom places bypassed edges between window
+        evictions).  One shared-memo probe per event; unmemoised label
+        pairs take the plan's slow path exactly as :meth:`offer` would.
+        Counts one batch in ``stats.batches_offered``.
+        """
+        self.stats.batches_offered += 1
+        memo = self._root_memo
+        slow = self._root_entry
+        roots: List[int] = []
+        lus: List[int] = []
+        lvs: List[int] = []
+        append_root = roots.append
+        append_lu = lus.append
+        append_lv = lvs.append
+        for event in events:
+            got = memo.get((event.u_label, event.v_label))
+            if got is None:
+                got = slow(event.u_label, event.v_label)
+            append_root(got[0])
+            append_lu(got[1])
+            append_lv(got[2])
+        return roots, lus, lvs
+
+    def offer_batch(
+        self,
+        events: Sequence[EdgeEvent],
+        on_overflow: Optional[Callable[[], None]] = None,
+    ) -> int:
+        """Columnar twin of calling :meth:`offer` on each event in order.
+
+        The single-edge gate runs once for the whole batch
+        (:meth:`gate_batch` + a numpy classification over the root column;
+        see :mod:`repro.core.columnar`); bypassed edges never reach the
+        per-edge machinery and are tallied columnar.  Edges whose root
+        probe hits fall back to the scalar extension/join path — the same
+        code :meth:`offer` runs — in stream order, so placements, window
+        contents and every core counter are bit-identical to the scalar
+        run (``stats.core_counters``; the batch counters record the
+        classification).  Returns the number of edges that entered the
+        window.
+
+        ``on_overflow`` is invoked after each windowed edge while
+        :meth:`needs_eviction` holds, exactly where a scalar driver would
+        run its eviction loop; without one the window is left overflowing
+        (the standalone-matcher behaviour of repeated :meth:`offer` calls).
+        A :class:`~repro.core.window.LabelConflictError` aborts the batch
+        at the offending edge with the same counted-then-raised semantics
+        as :meth:`offer` (earlier edges of the batch remain absorbed, and
+        the gate counters pre-added for the *unreached* tail of the batch
+        are rolled back, so even the abort leaves ``core_counters`` equal
+        to a scalar run that stopped at the same edge).
+        """
+        from repro.core.columnar import classify_roots
+
+        stats = self.stats
+        n = len(events)
+        if n == 0:
+            stats.batches_offered += 1
+            return 0
+        roots, lus, lvs = self.gate_batch(events)
+        windowed_idx, num_bypassed = classify_roots(roots)
+        stats.edges_offered += n
+        stats.edges_bypassed += num_bypassed
+        stats.vector_bypassed += num_bypassed
+        hits = len(windowed_idx)
+        stats.root_hits += hits
+        stats.scalar_fallbacks += hits
+        if not hits:
+            return 0
+        intern = self.interner.intern
+        absorb = self._absorb
+        window_events = self.window._events
+        capacity = self.window.capacity
+        entered = 0
+        for pos, i in enumerate(windowed_idx):
+            event = events[i]
+            uid = intern(event.u)
+            vid = intern(event.v)
+            try:
+                windowed = absorb(event, uid, vid, roots[i], lus[i], lvs[i])
+            except LabelConflictError:
+                # Un-count the gate verdicts of the edges the scalar path
+                # would never have reached (everything after batch slot i).
+                trailing = n - 1 - i
+                hits_after = hits - pos - 1
+                bypassed_after = trailing - hits_after
+                stats.edges_offered -= trailing
+                stats.root_hits -= hits_after
+                stats.scalar_fallbacks -= hits_after
+                stats.edges_bypassed -= bypassed_after
+                stats.vector_bypassed -= bypassed_after
+                raise
+            if windowed:
+                entered += 1
+            if on_overflow is not None and len(window_events) > capacity:
+                on_overflow()
+        return entered
+
+    def _absorb(
+        self, event: EdgeEvent, uid: int, vid: int, root: int, lu: int, lv: int
+    ) -> bool:
+        """The per-edge matching core behind the gate: window the edge,
+        then run extension and pair joins (Alg. 2).  Shared verbatim by
+        :meth:`offer` and the batch path — bit-exactness between the two
+        is structural.  Returns ``False`` for a duplicate edge."""
+        stats = self.stats
         ekey = pack_edge(uid, vid)
         try:
             if self.window.add_ids(event, uid, vid, ekey, lu, lv) is None:
-                return True  # duplicate edge: already buffered, nothing new to match
+                return False  # duplicate edge: already buffered, nothing new to match
         except LabelConflictError:
             stats.label_conflicts += 1
             raise
         stats.edges_windowed += 1
 
-        # Self-loops were rejected by the window above, so uid != vid.
-        base_edges = frozenset((ekey,))
-        base = Match(base_edges, root, self._support[root], {uid: 1, vid: 1})
+        # Read the pool *before* the base match is registered (the base
+        # cannot extend itself).  Self-loops were rejected by the window
+        # above, so uid != vid.
         by_vertex = self._ml_by_vertex
+        keys = self._ml_keys
+        arena = self._ml_arena
         bucket_u = by_vertex.get(uid)
         bucket_v = by_vertex.get(vid)
         if bucket_u:
@@ -372,26 +579,24 @@ class StreamMatcher:
         if not pool:
             existing: List[Match] = []
         elif len(pool) == 1:
-            existing = list(pool)
+            existing = [arena[next(iter(pool))]]
         else:
-            existing = sorted(pool, key=Match.sort_key)
+            existing = [arena[mid] for mid in sorted(pool, key=keys.__getitem__)]
 
-        new_matches: List[Match] = []
         register = self._register
         # The single-edge match is never capped: eviction relies on every
         # window edge having at least one match (its allocation handle).
-        if register(base, mandatory=True):
-            new_matches.append(base)
+        base = register((ekey,), root, {uid: 1, vid: 1}, mandatory=True)
+        new_matches: List[Match] = [base] if base is not None else []
 
         # -- extension: add e to every connected existing match (lines 3-8),
         #    inlined — this loop runs per (windowed edge, touching match).
         #    ekey is newly windowed, so no existing match contains it.
         if existing:
             extensible = self._extensible
-            support = self._support
             delta_memo = self._delta_memo
             delta_slow = self._delta_slow
-            successors = self._successors
+            successor_rows = self._successor_rows
             shift = self._delta_shift
             leaf_skips = 0
             probes = 0
@@ -409,16 +614,16 @@ class StreamMatcher:
                 if delta < 0:
                     continue  # this factor triple keys no successor anywhere
                 probes += 1
-                children = successors.get((m_state << shift) | delta)
+                children = successor_rows[(m_state << shift) | delta]
                 if children is None:
                     continue
-                extended_edges = m.edges | base_edges
+                extended_edges = m.edges + (ekey,)
                 new_degrees = dict(degrees)
                 new_degrees[uid] = du + 1
                 new_degrees[vid] = dv + 1
                 for child in children:
-                    nm = Match(extended_edges, child, support[child], new_degrees)
-                    if register(nm):
+                    nm = register(extended_edges, child, new_degrees)
+                    if nm is not None:
                         new_matches.append(nm)
             stats.leaf_gate_skips += leaf_skips
             stats.extension_probes += probes
@@ -435,10 +640,16 @@ class StreamMatcher:
         #    some motif outgrows the largest match seen so far, so
         #    size-gate the quadratic loop.  The one-edge-remaining case
         #    dominates and is inlined (no recursion, no degree-map copy on
-        #    the failure paths).
+        #    the failure paths); the single-edge ``m_old`` sub-case reuses
+        #    its edge tuple as the remainder key outright.
         if existing and new_matches:
+            extensible = self._extensible
             max_edges = self._max_motif_edges
             labels = self.window._labels
+            delta_memo = self._delta_memo
+            delta_slow = self._delta_slow
+            successor_rows = self._successor_rows
+            shift = self._delta_shift
             frontier = [
                 m
                 for m in new_matches
@@ -453,13 +664,25 @@ class StreamMatcher:
                     m_new_edges = m_new.edges
                     m_new_degrees = m_new._degrees
                     state = m_new.state
-                    tried: Set[EdgeSet] = set()
+                    tried: Set[EdgeTuple] = set()
                     for m_old in existing:
-                        remaining = m_old.edges - m_new_edges
-                        if not remaining:
-                            continue
-                        if n_new + len(remaining) > max_edges:
-                            continue
+                        m_old_edges = m_old.edges
+                        if len(m_old_edges) == 1:
+                            # The remainder is m_old's own edge tuple (or
+                            # empty): no difference to materialise.
+                            if m_old_edges[0] in m_new_edges:
+                                continue
+                            if n_new + 1 > max_edges:
+                                continue
+                            remaining = m_old_edges
+                        else:
+                            remaining = tuple(
+                                e for e in m_old_edges if e not in m_new_edges
+                            )
+                            if not remaining:
+                                continue
+                            if n_new + len(remaining) > max_edges:
+                                continue
                         # Distinct m_old with equal remainders attempt the
                         # same (deterministic) growth; first one decides.
                         if remaining in tried:
@@ -469,7 +692,7 @@ class StreamMatcher:
                             # Inlined single-step _grow: the added edge must
                             # be incident and cross a successor; the first
                             # successor wins, as in the recursive search.
-                            (e2,) = remaining
+                            e2 = remaining[0]
                             u = e2 >> EDGE_SHIFT
                             v = e2 & EDGE_MASK
                             du = m_new_degrees.get(u, 0)
@@ -482,25 +705,29 @@ class StreamMatcher:
                             if delta < 0:
                                 continue
                             probes += 1
-                            children = successors.get((state << shift) | delta)
+                            children = successor_rows[(state << shift) | delta]
                             if children is None:
                                 continue
                             degrees = dict(m_new_degrees)
                             degrees[u] = du + 1
                             degrees[v] = dv + 1
-                            child = children[0]
-                            joined = Match(
-                                m_new_edges | {e2}, child, support[child], degrees
+                            joined = register(
+                                m_new_edges + (e2,), children[0], degrees
                             )
                         else:
-                            joined = self._grow(
+                            grown = self._grow(
                                 m_new_edges,
                                 state,
-                                tuple(sorted(remaining)),
+                                remaining,
                                 m_new_degrees,
                                 owned=False,
                             )
-                        if joined is not None and register(joined):
+                            joined = (
+                                register(grown[0], grown[1], grown[2])
+                                if grown is not None
+                                else None
+                            )
+                        if joined is not None:
                             produced.append(joined)
                             joins += 1
                 frontier = [
@@ -510,84 +737,119 @@ class StreamMatcher:
             stats.pair_joins += joins
         return True
 
-    def _register(self, match: Match, mandatory: bool = False) -> bool:
-        # Inlined MatchList.add fused with the per-vertex cap: duplicates
-        # are rejected up front (a duplicate is already registered, so the
-        # cap holds for it by construction), then a single pass inserts
-        # while checking bucket sizes, rolling back on a cap hit (rare —
-        # the cap is generous, so the success path pays one pass only).
-        all_matches = self._ml_all
-        if match in all_matches:
-            return False
+    def _register(
+        self,
+        edges: Iterable[int],
+        state: int,
+        degrees: Dict[int, int],
+        mandatory: bool = False,
+    ) -> Optional[Match]:
+        # Inlined MatchList.add fused with the per-vertex cap, on match
+        # ids: duplicates are rejected up front by one canonical-key dict
+        # probe (a duplicate is already registered, so the cap holds for it
+        # by construction), then a single pass inserts the id while
+        # checking bucket sizes, rolling back on a cap hit (rare — the cap
+        # is generous, so the success path pays one pass only).  The Match
+        # object is only constructed once registration is certain, so
+        # duplicate and capped attempts allocate nothing.
+        edges = tuple(sorted(edges))
+        ids = self._ml_ids
+        key = (edges, state)
+        if key in ids:
+            return None
         by_vertex = self._ml_by_vertex
+        free = self._ml_free
+        if free:
+            mid = free.pop()
+        else:
+            mid = len(self._ml_arena)
+            self._ml_arena.append(None)
+            self._ml_keys.append(None)
         cap = -1 if mandatory else self.max_matches_per_vertex
         inserted = 0
-        for vid in match.vertices:
+        vertices = tuple(degrees)
+        for vid in vertices:
             bucket = by_vertex.get(vid)
             if bucket is None:
-                by_vertex[vid] = {match}
+                by_vertex[vid] = {mid}
             elif cap < 0 or len(bucket) < cap:
-                bucket.add(match)
+                bucket.add(mid)
             else:
-                # Cap hit: undo this match's inserts (bucket sizes are
+                # Cap hit: undo this id's inserts (bucket sizes are
                 # pre-insert sizes for every vertex either way, so the
                 # verdict is identical to a check-then-insert pass).
-                for undo_vid in match.vertices:
+                for undo_vid in vertices:
                     if inserted == 0:
                         break
                     undo_bucket = by_vertex.get(undo_vid)
-                    if undo_bucket is not None and match in undo_bucket:
-                        undo_bucket.discard(match)
+                    if undo_bucket is not None and mid in undo_bucket:
+                        undo_bucket.discard(mid)
                         if not undo_bucket:
                             del by_vertex[undo_vid]
                         inserted -= 1
+                free.append(mid)
                 self.stats.capped_registrations += 1
-                return False
+                return None
             inserted += 1
-        all_matches.add(match)
+        # Direct slot stores: edges is already the canonical sorted tuple
+        # and key/vertices are in hand, so Match.__init__ would only redo
+        # work (this is the per-match allocation hot spot).
+        support = self._support[state]
+        match = Match.__new__(Match)
+        match.edges = edges
+        match.state = state
+        match.support = support
+        match._degrees = degrees
+        match.vertices = vertices
+        match._hash = hash(key)
+        match._sort_key = sort_key = (-support, len(edges), edges)
+        self._ml_arena[mid] = match
+        self._ml_keys[mid] = sort_key
+        ids[key] = mid
         by_edge = self._ml_by_edge
-        for ekey in match.edges:
+        for ekey in edges:
             bucket = by_edge.get(ekey)
             if bucket is None:
-                by_edge[ekey] = {match}
+                by_edge[ekey] = {mid}
             else:
-                bucket.add(match)
+                bucket.add(mid)
         self.stats.matches_created += 1
-        return True
+        return match
 
     def _grow(
         self,
-        edges: EdgeSet,
+        edges: EdgeTuple,
         state: int,
-        remaining: Tuple[int, ...],
+        remaining: EdgeTuple,
         degrees: Dict[int, int],
         owned: bool = True,
-    ) -> Optional[Match]:
+    ) -> Optional[Tuple[EdgeTuple, int, Dict[int, int]]]:
         """Grow a match by ``remaining`` edges one at a time (Alg. 2 lines
         13-18); ``None`` unless *all* of them can be added through plan
-        successors.
+        successors, else the ``(edges, state, degrees)`` of the fully grown
+        match (the caller registers it — growth itself allocates no Match).
 
-        ``remaining`` arrives as a sorted tuple of packed keys (the caller
-        sorts once; slicing preserves the order down the recursion, so the
-        edge order is identical to re-sorting at every level).  ``degrees``
-        is threaded through the backtracking search (mutated on descent,
-        undone on a failed branch) instead of being rebuilt from the edge
-        set at every level; on success the final map is handed to the
-        :class:`Match` as-is — every frame up the success path returns
-        immediately, so nothing mutates it afterwards.  The top-level
-        caller passes ``owned=False`` to lend the source match's live map:
-        it is copied only if a descent actually mutates it, so failed join
-        attempts (the overwhelming majority) allocate nothing.
+        ``remaining`` arrives as a sorted tuple of packed keys (the
+        canonical match edge order; slicing preserves it down the
+        recursion, so the edge order is identical to re-sorting at every
+        level).  ``degrees`` is threaded through the backtracking search
+        (mutated on descent, undone on a failed branch) instead of being
+        rebuilt from the edge set at every level; on success the final map
+        is handed to the caller as-is — every frame up the success path
+        returns immediately, so nothing mutates it afterwards.  The
+        top-level caller passes ``owned=False`` to lend the source match's
+        live map: it is copied only if a descent actually mutates it, so
+        failed join attempts (the overwhelming majority) allocate nothing.
         """
         if not remaining:
-            return Match(edges, state, self._support[state], degrees)
+            return (edges, state, degrees)
         if not self._extensible[state]:
             self.stats.leaf_gate_skips += 1
             return None  # leaf motif: no edge can be added through the plan
         labels = self.window._labels
         delta_memo = self._delta_memo
         delta_slow = self._delta_slow
-        successors = self._successors
+        successor_rows = self._successor_rows
         shift = self._delta_shift
         stats = self.stats
         for i, e2 in enumerate(remaining):  # packed keys: (min_id, max_id) order
@@ -603,7 +865,7 @@ class StreamMatcher:
             if delta < 0:
                 continue
             stats.extension_probes += 1
-            children = successors.get((state << shift) | delta)
+            children = successor_rows[(state << shift) | delta]
             if children is None:
                 continue
             if not owned:
@@ -612,7 +874,7 @@ class StreamMatcher:
             degrees[u] = du + 1
             degrees[v] = dv + 1
             rest = remaining[:i] + remaining[i + 1 :]
-            grown = edges | {e2}
+            grown = edges + (e2,)
             for child in children:
                 result = self._grow(grown, child, rest, degrees)
                 if result is not None:
@@ -643,16 +905,28 @@ class StreamMatcher:
         cluster through :meth:`remove_cluster`.
         """
         ekey, event = self.window.oldest_item()
-        matches = sorted(
-            self.matchlist.matches_containing_edge(ekey),
-            key=Match.sort_key,
-        )
+        bucket = self._ml_by_edge.get(ekey)
+        if bucket:
+            arena = self._ml_arena
+            matches = [
+                arena[mid] for mid in sorted(bucket, key=self._ml_keys.__getitem__)
+            ]
+        else:
+            matches = []
         return Eviction(event=event, matches=matches, ekey=ekey)
 
-    def remove_cluster(self, ekeys: Set[int]) -> List[EdgeEvent]:
+    def remove_cluster(self, ekeys: Iterable[int]) -> List[EdgeEvent]:
         """Remove assigned edges from the window and drop every match that
         contains any of them (Sec. 4: those matches lost constituent edges)."""
-        self.matchlist.drop_edges(ekeys)
+        by_edge = self._ml_by_edge
+        doomed: Set[int] = set()
+        for ekey in ekeys:
+            bucket = by_edge.get(ekey)
+            if bucket:
+                doomed |= bucket
+        evict_mid = self.matchlist._evict_mid
+        for mid in doomed:
+            evict_mid(mid)
         return self.window.remove_ekeys(ekeys)
 
     # ------------------------------------------------------------------

@@ -88,6 +88,7 @@ class MotifPlan:
         "_delta_ids",
         "_delta_shift",
         "_successors",
+        "successor_rows",
         "_delta_memo",
     )
 
@@ -159,6 +160,19 @@ class MotifPlan:
             (state << self._delta_shift) | delta_id: kept
             for state, delta_id, kept in entries
         }
+        #: The successor table as a dense row array indexed by the packed
+        #: ``(state << delta_shift) | delta_id`` key (``None`` rows = no
+        #: successors).  Semantically identical to ``_successors`` — the
+        #: matcher's inner loop reads this (a C list index instead of an
+        #: int-dict probe); the dict stays as the canonical form the
+        #: boundary helpers and the columnar sorted tables compile from.
+        #: Size is ``num_states << delta_shift`` (delta ids never exceed
+        #: ``2**delta_shift``), small for any realistic workload.
+        self.successor_rows: List[Optional[Tuple[int, ...]]] = [None] * (
+            self.num_states << self._delta_shift
+        )
+        for packed_key, kept in self._successors.items():
+            self.successor_rows[packed_key] = kept
         #: (lu, lv, du, dv) -> delta id, or NO_STATE when the probed factor
         #: triple appears in no successor entry anywhere (a *global* miss:
         #: the object index would return [] for every state, so skipping

@@ -68,7 +68,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size",
         type=int,
         default=DEFAULT_BATCH_SIZE,
-        help="events per runtime queue message (sharded runs only)",
+        help="events per batch: the columnar gate chunk on a single-process "
+        "Loom run, the runtime queue message size on sharded runs",
+    )
+    parser.add_argument(
+        "--no-columnar",
+        action="store_true",
+        help="run Loom's per-edge scalar ingest loop instead of the columnar "
+        "(numpy) batch gate; placements are bit-identical either way",
     )
     parser.add_argument(
         "--merge-rule",
@@ -137,14 +144,25 @@ def main(argv: Optional[list] = None) -> int:
     if args.shards < 1:
         print("error: --shards must be at least 1", file=sys.stderr)
         return 2
+    if args.batch_size < 1:
+        print("error: --batch-size must be at least 1", file=sys.stderr)
+        return 2
 
     window = args.window if args.window is not None else scaled_window(graph)
-    loom_kwargs = {"support_threshold": args.threshold} if args.system == "loom" else {}
+    loom_kwargs = (
+        {"support_threshold": args.threshold, "columnar": not args.no_columnar}
+        if args.system == "loom"
+        else {}
+    )
     events = stream_edges(graph, args.order, seed=args.seed)
 
     if args.shards == 1:
         # The established single-process path (also what a sharded run with
         # one worker reproduces bit for bit — tests/test_runtime.py).
+        # --batch-size sizes the columnar gate chunks here; on sharded runs
+        # it sizes the queue messages instead (the workers chunk internally).
+        if args.system == "loom":
+            loom_kwargs["batch_size"] = args.batch_size
         state = PartitionState.for_graph(args.k, graph.num_vertices, args.imbalance)
         partitioner = registry.create(
             args.system,

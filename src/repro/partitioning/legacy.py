@@ -495,7 +495,7 @@ class LegacyLoomPartitioner(StreamingPartitioner):
             )
             ekeys = set()
             for view in decision.assigned_matches:
-                ekeys |= view.ekeys
+                ekeys.update(view.ekeys)
             self.matcher.remove_cluster(ekeys)
         else:
             for v in (eviction.event.u, eviction.event.v):

@@ -1,0 +1,401 @@
+"""Batch/scalar equivalence for the columnar (numpy) matcher path.
+
+The columnar path is an *execution strategy*, not a semantic change:
+:meth:`StreamMatcher.offer_batch` and Loom's columnar ``ingest_batch``
+must be bit-identical to per-edge :meth:`StreamMatcher.offer` /
+``ingest`` — same window contents, same matchList, same placements, same
+core counters (only the three batch counters may differ, and only by
+batch layout).  These suites pin that equivalence over randomized
+workloads × window sizes × thresholds, the batch-boundary edge cases
+(empty and single-edge batches, batches straddling evictions), the
+``LabelConflictError`` abort accounting, the window's columnar mirrors,
+and the :class:`~repro.core.columnar.PlanTables` probe agreement with the
+plan's dicts — including misses.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from helpers import make_random_labelled_graph
+from repro.core.columnar import (
+    GrowableIntColumn,
+    PlanTables,
+    WindowColumns,
+    classify_roots,
+)
+from repro.core.loom import LoomPartitioner
+from repro.core.matching import StreamMatcher
+from repro.core.motifs import MotifIndex
+from repro.core.plan import NO_STATE
+from repro.core.tpstry import TPSTry
+from repro.core.window import LabelConflictError
+from repro.graph.stream import EdgeEvent, batched, stream_edges, synthetic_stream
+from repro.partitioning.state import PartitionState
+from repro.query.pattern import path_pattern
+from repro.query.workload import Workload
+
+
+def build_matcher(workload, window=100, threshold=0.4, **kwargs) -> StreamMatcher:
+    trie = TPSTry.from_workload(workload)
+    return StreamMatcher(MotifIndex(trie, threshold), window, **kwargs)
+
+
+def evict_once(matcher: StreamMatcher) -> None:
+    """The driver-side eviction a Loom run would perform: allocate the
+    best match's cluster (here: just remove it) and slide the window."""
+    eviction = matcher.next_eviction()
+    if eviction.matches:
+        matcher.remove_cluster(set(eviction.matches[0].edges))
+    else:
+        matcher.remove_cluster({eviction.ekey})
+
+
+def drive_scalar(matcher: StreamMatcher, events) -> int:
+    entered = 0
+    for event in events:
+        try:
+            if matcher.offer(event):
+                entered += 1
+        except LabelConflictError:
+            raise
+        while matcher.needs_eviction():
+            evict_once(matcher)
+    return entered
+
+
+def drive_batched(matcher: StreamMatcher, events, batch_size: int) -> int:
+    entered = 0
+    for batch in batched(events, batch_size):
+        entered += matcher.offer_batch(batch, on_overflow=lambda: evict_once(matcher))
+    return entered
+
+
+def matcher_snapshot(matcher: StreamMatcher):
+    """Everything observable: window FIFO order, window labels, matchList
+    contents, and the core counters."""
+    return (
+        tuple(matcher.window.edges()),
+        dict(matcher.window._labels),
+        {(m.edges, m.state) for m in matcher.matchlist.all_matches()},
+        matcher.stats.core_counters(),
+    )
+
+
+@pytest.fixture(scope="module")
+def mixed_workload() -> Workload:
+    """Paths over {a, b, c} with skewed frequencies, so the 40% threshold
+    splits labels into windowed and bypassed classes."""
+    return Workload(
+        [
+            (path_pattern(["a", "b"], name="ab"), 6.0),
+            (path_pattern(["a", "b", "c"], name="abc"), 3.0),
+            (path_pattern(["b", "a", "b"], name="bab"), 2.0),
+            (path_pattern(["c", "d"], name="cd"), 1.0),  # below threshold
+        ],
+        name="mixed",
+    )
+
+
+def random_events(num_vertices, num_edges, seed, labels=("a", "b", "c", "d")):
+    graph = make_random_labelled_graph(num_vertices, num_edges, labels=labels, seed=seed)
+    return list(stream_edges(graph, "bfs", seed=seed))
+
+
+class TestOfferBatchEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("window", [5, 23, 400])
+    @pytest.mark.parametrize("batch_size", [1, 7, 64])
+    def test_randomized_streams_bit_identical(
+        self, mixed_workload, seed, window, batch_size
+    ):
+        events = random_events(50, 160, seed)
+        a = build_matcher(mixed_workload, window)
+        b = build_matcher(mixed_workload, window)
+        entered_a = drive_scalar(a, events)
+        entered_b = drive_batched(b, events, batch_size)
+        assert entered_a == entered_b
+        assert matcher_snapshot(a) == matcher_snapshot(b)
+
+    @pytest.mark.parametrize("threshold", [0.2, 0.4, 0.7])
+    def test_thresholds_change_gate_not_equivalence(self, mixed_workload, threshold):
+        events = random_events(40, 120, seed=3)
+        a = build_matcher(mixed_workload, 30, threshold=threshold)
+        b = build_matcher(mixed_workload, 30, threshold=threshold)
+        drive_scalar(a, events)
+        drive_batched(b, events, 16)
+        assert matcher_snapshot(a) == matcher_snapshot(b)
+        # And the batch counters add up: every offered edge was classified.
+        stats = b.stats
+        assert stats.vector_bypassed + stats.scalar_fallbacks == stats.edges_offered
+        assert stats.vector_bypassed == stats.edges_bypassed
+        assert stats.scalar_fallbacks == stats.root_hits
+
+    def test_empty_batch_counts_and_returns_zero(self, mixed_workload):
+        m = build_matcher(mixed_workload)
+        assert m.offer_batch([]) == 0
+        assert m.stats.batches_offered == 1
+        assert m.stats.edges_offered == 0
+
+    def test_single_edge_batches_match_offer(self, mixed_workload):
+        a = build_matcher(mixed_workload, 10)
+        b = build_matcher(mixed_workload, 10)
+        events = random_events(20, 40, seed=5)
+        drive_scalar(a, events)
+        drive_batched(b, events, 1)
+        assert matcher_snapshot(a) == matcher_snapshot(b)
+        assert b.stats.batches_offered == len(events)
+
+    def test_batch_straddles_eviction(self, mixed_workload):
+        """One batch overflows the window several times over; on_overflow
+        must fire mid-batch so later edges of the batch see the slid
+        window, exactly as the scalar loop would."""
+        events = random_events(30, 90, seed=7)
+        a = build_matcher(mixed_workload, 4)
+        b = build_matcher(mixed_workload, 4)
+        drive_scalar(a, events)
+        b.offer_batch(events, on_overflow=lambda: evict_once(b))
+        assert matcher_snapshot(a) == matcher_snapshot(b)
+        assert len(b.window._events) <= 4
+
+    def test_without_overflow_callback_window_overflows(self, mixed_workload):
+        """No callback = standalone-matcher behaviour: repeated offers
+        leave the window overflowing for the caller to drain."""
+        events = [EdgeEvent(i, "a", i + 1, "b") for i in range(0, 20, 2)]
+        m = build_matcher(mixed_workload, 3)
+        m.offer_batch(events)
+        assert m.needs_eviction()
+        assert len(m.window._events) == 10
+
+    def test_label_conflict_aborts_with_scalar_counters(self, mixed_workload):
+        """A mid-batch relabel aborts the batch; the pre-added gate
+        counters for the unreached tail are rolled back so the stats match
+        a scalar run stopped at the same edge."""
+        events = [
+            EdgeEvent(1, "a", 2, "b"),
+            EdgeEvent(8, "c", 9, "d"),  # bypassed, after the conflict
+            EdgeEvent(1, "b", 2, "a"),  # relabels vertices 1 and 2
+            EdgeEvent(3, "a", 4, "b"),  # never reached
+            EdgeEvent(5, "c", 6, "d"),  # never reached (would bypass)
+        ]
+        a = build_matcher(mixed_workload, 10)
+        with pytest.raises(LabelConflictError):
+            for event in events:
+                a.offer(event)
+        b = build_matcher(mixed_workload, 10)
+        with pytest.raises(LabelConflictError):
+            b.offer_batch(events)
+        assert a.stats.core_counters() == b.stats.core_counters()
+        assert b.stats.label_conflicts == 1
+        assert matcher_snapshot(a) == matcher_snapshot(b)
+
+    def test_duplicate_edges_do_not_double_enter(self, mixed_workload):
+        m = build_matcher(mixed_workload, 10)
+        e = EdgeEvent(1, "a", 2, "b")
+        assert m.offer_batch([e, e]) == 1
+        assert m.stats.edges_windowed == 1
+        assert m.stats.scalar_fallbacks == 2  # both hit the gate
+
+
+class TestLoomColumnarEquivalence:
+    @pytest.fixture
+    def workload(self, fig5_workload):
+        return fig5_workload
+
+    def run_loom(self, events, workload, num_vertices, **kwargs):
+        state = PartitionState.for_graph(4, num_vertices)
+        loom = LoomPartitioner(state, workload, window_size=40, seed=0, **kwargs)
+        loom.ingest_all(events)
+        return state, loom
+
+    @pytest.mark.parametrize("batch_size", [1, 13, 2048])
+    def test_columnar_matches_scalar_ingest(self, workload, batch_size):
+        graph = make_random_labelled_graph(60, 140, seed=5)
+        events = list(stream_edges(graph, "bfs", seed=3))
+        state_a, loom_a = self.run_loom(events, workload, 60, columnar=False)
+        state_b, loom_b = self.run_loom(
+            events, workload, 60, columnar=True, batch_size=batch_size
+        )
+        assert state_a.assignment() == state_b.assignment()
+        assert (
+            loom_a.matcher.stats.core_counters()
+            == loom_b.matcher.stats.core_counters()
+        )
+        assert loom_a.stats == loom_b.stats
+        assert loom_a.edges_ingested == loom_b.edges_ingested == len(events)
+        # The columnar run actually used the batch gate.
+        assert loom_b.matcher.stats.batches_offered > 0
+        assert loom_a.matcher.stats.batches_offered == 0
+
+    def test_columnar_matches_per_event_ingest(self, workload):
+        graph = make_random_labelled_graph(50, 120, seed=11)
+        events = list(stream_edges(graph, "bfs", seed=2))
+        state_a = PartitionState.for_graph(4, 50)
+        loom_a = LoomPartitioner(state_a, workload, window_size=25, seed=0)
+        for event in events:
+            loom_a.ingest(event)
+        loom_a.finalize()
+        state_b = PartitionState.for_graph(4, 50)
+        loom_b = LoomPartitioner(
+            state_b, workload, window_size=25, seed=0, batch_size=17
+        )
+        loom_b.ingest_all(events)
+        loom_b.finalize()
+        assert state_a.assignment() == state_b.assignment()
+        assert (
+            loom_a.matcher.stats.core_counters()
+            == loom_b.matcher.stats.core_counters()
+        )
+
+    def test_scalar_path_reproduces_golden_digest(self, fig5_workload):
+        """The golden digests in test_plan.py run with columnar on (the
+        default); the scalar escape hatch must reproduce them too."""
+        import hashlib
+        import json
+
+        from test_plan import GOLDEN_DIGESTS
+
+        events = list(synthetic_stream(500, 3000, seed=9))
+        state = PartitionState.for_graph(4, 500)
+        LoomPartitioner(
+            state, fig5_workload, window_size=300, seed=0, columnar=False
+        ).ingest_all(events)
+        blob = json.dumps(
+            sorted((repr(v), p) for v, p in state.assignment().items())
+        ).encode()
+        digest = hashlib.sha256(blob).hexdigest()
+        assert digest == GOLDEN_DIGESTS["synthetic-500v-3000e"]
+
+    def test_batch_size_validation(self, workload):
+        state = PartitionState.for_graph(4, 10)
+        with pytest.raises(ValueError):
+            LoomPartitioner(state, workload, batch_size=0)
+
+
+class TestWindowColumns:
+    def test_mirrors_agree_with_dicts_under_churn(self, mixed_workload):
+        """Randomized add/evict interleaving: the degrees column must equal
+        the adjacency's degree at every vertex id, and the arrival log must
+        equal edges_windowed, at every step."""
+        events = random_events(30, 90, seed=9)
+        m = build_matcher(mixed_workload, 6)
+        for event in events:
+            try:
+                m.offer(event)
+            except LabelConflictError:
+                continue
+            while m.needs_eviction():
+                evict_once(m)
+            cols = m.window.cols
+            assert len(cols.ekeys) == m.stats.edges_windowed
+            # Materialise (a frombuffer view would pin the buffer against
+            # the next offer's growth — views are strictly per-batch).
+            degrees = cols.degree_view().tolist()
+            adj = m.window._adj
+            for vid in range(len(degrees)):
+                assert degrees[vid] == len(adj.get(vid, ()))
+            # Ids past the column's length have never been windowed.
+            for vid in adj:
+                assert vid < len(degrees)
+
+    def test_arrival_log_is_append_only(self):
+        cols = WindowColumns()
+        cols.record_add(0, 1, 100)
+        cols.record_add(1, 2, 200)
+        cols.record_remove(0, 1)
+        ekeys, us, vs = cols.arrival_view()
+        assert ekeys.tolist() == [100, 200]  # evictions never retract rows
+        assert us.tolist() == [0, 1]
+        assert vs.tolist() == [1, 2]
+        assert cols.degree_view().tolist() == [0, 1, 1]
+
+
+class TestGrowableIntColumn:
+    def test_scalar_and_view_roundtrip(self):
+        col = GrowableIntColumn([3, 1])
+        col.append(7)
+        col.extend([5, 9])
+        col[0] = 4
+        assert col.tolist() == [4, 1, 7, 5, 9]
+        view = col.view()
+        assert view.dtype == np.int64
+        assert view.tolist() == [4, 1, 7, 5, 9]
+        # Zero-copy: a scalar write shows through the live view.
+        col[1] = 42
+        assert view[1] == 42
+
+    def test_grow_to_pads_with_fill(self):
+        col = GrowableIntColumn()
+        assert col.view().size == 0
+        col.grow_to(3)
+        assert col.tolist() == [0, 0, 0]
+        col.grow_to(2)  # never shrinks
+        assert len(col) == 3
+
+
+class TestClassifyRoots:
+    def test_splits_by_sign(self):
+        windowed, bypassed = classify_roots([2, -1, 0, NO_STATE, 5])
+        assert windowed == [0, 2, 4]
+        assert bypassed == 2
+
+    def test_empty(self):
+        assert classify_roots([]) == ([], 0)
+
+
+class TestPlanTables:
+    @pytest.fixture
+    def plan(self, fig5_workload):
+        return MotifIndex(TPSTry.from_workload(fig5_workload), 0.4).compile()
+
+    def test_root_probe_agrees_with_dict_including_misses(self, plan):
+        tables = PlanTables.from_plan(plan)
+        keys = sorted(plan._roots_by_sig)
+        probe_keys = keys + [-1, 0, max(keys) + 1, max(keys) + 12345]
+        got = tables.probe_roots(np.array(probe_keys, dtype=np.int64))
+        want = [plan._roots_by_sig.get(k, NO_STATE) for k in probe_keys]
+        assert got.tolist() == want
+
+    def test_successor_probe_agrees_with_dict_including_misses(self, plan):
+        tables = PlanTables.from_plan(plan)
+        keys = sorted(plan._successors)
+        probe_keys = keys + [-7, max(keys) + 1]
+        row_ids = tables.probe_successor_rows(np.array(probe_keys, dtype=np.int64))
+        rows = tables.successors_for_rows(row_ids)
+        for key, row in zip(probe_keys, rows):
+            assert row == plan._successors.get(key)
+
+    def test_successor_rows_mirror_plan_dense_rows(self, plan):
+        """plan.successor_rows (the dense list the scalar path indexes)
+        and the dict must agree key for key."""
+        for key, kept in plan._successors.items():
+            assert plan.successor_rows[key] == kept
+        hits = sum(1 for row in plan.successor_rows if row is not None)
+        assert hits == len(plan._successors)
+
+    def test_empty_tables_all_miss(self):
+        class _FakePlan:
+            _roots_by_sig = {}
+            _successors = {}
+
+        tables = PlanTables(_FakePlan())
+        got = tables.probe_roots(np.array([1, 2, 3], dtype=np.int64))
+        assert got.tolist() == [NO_STATE] * 3
+        assert tables.probe_successor_rows(np.array([9], dtype=np.int64)).tolist() == [-1]
+
+
+class TestDeterminism:
+    def test_columnar_double_run_identical(self, fig5_workload):
+        """Two identical columnar runs produce byte-identical assignments
+        and stats (no hidden iteration-order or hash dependence)."""
+
+        def run():
+            events = list(synthetic_stream(200, 1200, seed=4))
+            state = PartitionState(4, math.ceil(200 / 4) + 10)
+            loom = LoomPartitioner(state, fig5_workload, window_size=100, seed=0)
+            loom.ingest_all(events)
+            loom.finalize()
+            return state.assignment(), loom.matcher.stats.as_dict(), dict(loom.stats)
+
+        assert run() == run()

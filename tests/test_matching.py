@@ -35,7 +35,10 @@ def match_shapes(matcher: StreamMatcher, vertex):
     if vid is None:
         return set()
     return {
-        (m.edges, tuple(sorted(matcher.resolve_node(m).exemplar.labels().values())))
+        (
+            frozenset(m.edges),  # matches carry canonical sorted tuples
+            tuple(sorted(matcher.resolve_node(m).exemplar.labels().values())),
+        )
         for m in matcher.matchlist.matches_at(vid)
     }
 
@@ -102,7 +105,7 @@ class TestFigure5Scenario:
         # Sorted by support, descending; the single-edge match leads.
         supports = [match.support for match in eviction.matches]
         assert supports == sorted(supports, reverse=True)
-        assert eviction.matches[0].edges == frozenset([eviction.ekey])
+        assert eviction.matches[0].edges == (eviction.ekey,)
 
 
 class TestGate:
@@ -153,7 +156,7 @@ class TestClusterRemoval:
         m.remove_cluster({ek(m, 1, 2), ek(m, 3, 4)})
         window_edges = set(m.window.edges())
         for match in m.matchlist.all_matches():
-            assert match.edges <= window_edges
+            assert set(match.edges) <= window_edges
 
 
 class TestMatchInvariants:

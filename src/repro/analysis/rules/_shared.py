@@ -1,0 +1,157 @@
+"""Shared static-inference helpers for the determinism rules.
+
+The set-typed inference here is deliberately conservative: it only calls
+an expression a set when that is statically evident — a set literal or
+comprehension, a ``set()``/``frozenset()`` constructor, a set-algebra
+operator over a known set, one of the codebase's known set-returning
+methods (:data:`repro.analysis.config.SET_RETURNING_METHODS`), or a local
+name every assignment to which is one of the above.  Anything it cannot
+prove is *not* flagged — detlint prefers silence over noise, because every
+finding must be fixed or pragma'd.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, List, Optional, Set
+
+from repro.analysis import config
+from repro.analysis.engine import Finding, LintContext, Rule
+
+#: Builtins whose result does not depend on the argument's iteration
+#: order — consuming a set through these is fine.
+ORDER_INSENSITIVE_CONSUMERS = frozenset(
+    {"sorted", "len", "min", "max", "any", "all", "set", "frozenset", "sum"}
+)
+
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+_SET_OPS = (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)
+_SET_METHODS = frozenset(
+    {"intersection", "union", "difference", "symmetric_difference", "copy"}
+)
+_SET_ANNOTATIONS = frozenset({"set", "Set", "frozenset", "FrozenSet", "AbstractSet", "MutableSet"})
+
+
+def _annotation_is_set(node: Optional[ast.AST]) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Subscript):  # Set[X], typing.Set[X]
+        node = node.value
+    name = node.attr if isinstance(node, ast.Attribute) else getattr(node, "id", None)
+    return name in _SET_ANNOTATIONS
+
+
+def is_set_typed(node: ast.AST, known: FrozenSet[str] = frozenset()) -> bool:
+    """Is ``node`` statically evidently a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in known
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+        return is_set_typed(node.left, known) or is_set_typed(node.right, known)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id in _SET_CONSTRUCTORS
+        if isinstance(func, ast.Attribute):
+            if func.attr in config.SET_RETURNING_METHODS:
+                return True
+            if func.attr in _SET_METHODS:
+                return is_set_typed(func.value, known)
+    return False
+
+
+def _scope_statements(scope: ast.AST) -> List[ast.stmt]:
+    """The statements belonging to ``scope`` itself (nested function and
+    class bodies excluded — they are their own scopes)."""
+    out: List[ast.stmt] = []
+
+    def walk(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(child, ast.stmt):
+                out.append(child)
+            walk(child)
+
+    walk(scope)
+    return out
+
+
+def collect_set_names(scope: ast.AST) -> FrozenSet[str]:
+    """Local names provably set-typed in ``scope``.
+
+    A name qualifies when every plain assignment to it in the scope is a
+    set-typed expression (or it is annotated as a set).  Two passes so a
+    chain like ``a = set(); b = a | other`` resolves.
+    """
+    statements = _scope_statements(scope)
+    known: Set[str] = set()
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = scope.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if _annotation_is_set(arg.annotation):
+                known.add(arg.arg)
+    for _ in range(2):
+        candidates: Set[str] = set()
+        poisoned: Set[str] = set()
+        for stmt in statements:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        if is_set_typed(stmt.value, frozenset(known)):
+                            candidates.add(target.id)
+                        else:
+                            poisoned.add(target.id)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                if _annotation_is_set(stmt.annotation):
+                    candidates.add(stmt.target.id)
+                elif stmt.value is not None and is_set_typed(stmt.value, frozenset(known)):
+                    candidates.add(stmt.target.id)
+                else:
+                    poisoned.add(stmt.target.id)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)) and isinstance(
+                stmt.target, ast.Name
+            ):
+                # loop variables rebind the name to elements, not sets
+                poisoned.add(stmt.target.id)
+        known |= candidates - poisoned
+        known -= poisoned - candidates
+    return frozenset(known)
+
+
+class ScopedSetRule(Rule):
+    """Base for rules needing per-function known-set-name frames.
+
+    Maintains a scope stack: entering a FunctionDef pushes that scope's
+    provable set names; :meth:`known_sets` unions the stack (closures read
+    outer locals).
+    """
+
+    def __init__(self, ctx: LintContext) -> None:
+        super().__init__(ctx)
+        self._frames: List[FrozenSet[str]] = []
+
+    def run(self) -> List[Finding]:
+        self._frames = [collect_set_names(self.ctx.tree)]
+        self.visit(self.ctx.tree)
+        return self.findings
+
+    def known_sets(self) -> FrozenSet[str]:
+        out: Set[str] = set()
+        for frame in self._frames:
+            out |= frame
+        return frozenset(out)
+
+    def _visit_function(self, node: ast.AST) -> None:
+        self._frames.append(collect_set_names(node))
+        self.generic_visit(node)
+        self._frames.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)

@@ -1,0 +1,80 @@
+"""DET-random: no unseeded global RNG outside the benchmarks.
+
+Module-level ``random.*`` functions share one process-global Mersenne
+Twister seeded from the OS; ``np.random.*`` legacy functions share the
+global numpy state.  A single call on a result path makes double-run
+determinism tests flake probabilistically — the failure PR 2 spent a
+whole suite (subprocess double-runs under varied ``PYTHONHASHSEED``)
+hunting.  Everywhere except ``bench*/`` the rule flags:
+
+* calls through the ``random`` module object (``random.shuffle``,
+  ``random.random``, even ``random.seed`` — seeding *shared* state still
+  leaks between call sites).  Instantiating ``random.Random(seed)`` /
+  ``random.SystemRandom`` is the sanctioned pattern and stays legal;
+* names imported from ``random`` (``from random import shuffle``);
+* ``np.random.*`` calls, except constructing an explicitly seeded
+  generator (``np.random.default_rng(seed)`` / ``RandomState(seed)`` /
+  ``SeedSequence(seed)`` *with* an argument).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Rule, dotted_name, module_aliases, register_rule
+
+_SAFE_RANDOM_ATTRS = frozenset({"Random", "SystemRandom"})
+_SEEDABLE_NP = frozenset({"default_rng", "RandomState", "Generator", "SeedSequence"})
+
+
+@register_rule
+class DetRandom(Rule):
+    rule_id = "DET-random"
+    title = "no unseeded module-level random.* / np.random.* outside bench*/"
+    hint = "thread an explicit random.Random(seed) / np.random.default_rng(seed) instance"
+
+    def run(self):
+        tree = self.ctx.tree
+        self._random_aliases = module_aliases(tree, "random")
+        self._np_aliases = module_aliases(tree, "numpy")
+        self._from_random = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name not in _SAFE_RANDOM_ATTRS:
+                        self._from_random.add(alias.asname or alias.name)
+        self.visit(tree)
+        return self.findings
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            parts = name.split(".")
+            if (
+                len(parts) == 2
+                and parts[0] in self._random_aliases
+                and parts[1] not in _SAFE_RANDOM_ATTRS
+            ):
+                self.report(
+                    node,
+                    f"{name}() uses the process-global RNG (shared, unseeded state)",
+                )
+            elif len(parts) == 3 and parts[0] in self._np_aliases and parts[1] == "random":
+                if parts[2] in _SEEDABLE_NP:
+                    if not node.args and not node.keywords:
+                        self.report(
+                            node,
+                            f"{name}() without a seed draws OS entropy",
+                            hint="pass an explicit integer seed",
+                        )
+                else:
+                    self.report(
+                        node,
+                        f"{name}() uses numpy's process-global RNG",
+                    )
+            elif len(parts) == 1 and parts[0] in self._from_random:
+                self.report(
+                    node,
+                    f"{name}() (imported from random) uses the process-global RNG",
+                )
+        self.generic_visit(node)

@@ -1,0 +1,106 @@
+"""DET-repr: no string/identity conversions in ordering positions.
+
+The PR 2 incident class: the seed ordered matches, auction vertices and
+stream neighbours by ``repr()`` strings.  Vertices without a value-based
+``__repr__`` fall back to ``<object at 0x7f...>`` — the memory address —
+so the "canonical" order silently varied run to run, and every downstream
+placement with it.  On hot-path modules the rule bans ``repr``/``str``/
+``format``/``id`` (and f-strings) wherever their result would *order or
+key* data:
+
+* the ``key=`` of ``sorted``/``min``/``max``/``.sort`` (including
+  ``key=repr`` passed bare);
+* dict-literal keys, subscript keys, and ``.get``/``.setdefault``/
+  ``.pop`` probe arguments;
+* ordering comparisons (``<``, ``<=``, ``>``, ``>=`` — equality against a
+  string is deterministic and stays legal).
+
+Fix: compare interned ids or insertion ranks (``graph/interning.py``),
+never string forms.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.engine import Rule, contains_call_to, register_rule
+
+_BANNED = ("repr", "str", "format", "id")
+_ORDER_FUNCS = frozenset({"sorted", "min", "max"})
+_DICT_PROBES = frozenset({"get", "setdefault", "pop"})
+_ORDERING_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+def _banned_use(node: ast.AST, bare_names: bool = False) -> Optional[ast.AST]:
+    """A banned conversion inside ``node``: a call to repr/str/format/id
+    or an f-string.  ``bare_names`` additionally matches a plain reference
+    to one of them (``key=repr``) — only sane in sort-key position, since
+    elsewhere a bare ``str`` is usually a type expression
+    (``Optional[str]``), not a conversion."""
+    if bare_names and isinstance(node, ast.Name) and node.id in _BANNED:
+        return node
+    call = contains_call_to(node, _BANNED)
+    if call is not None:
+        return call
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.JoinedStr):
+            return sub
+    return None
+
+
+@register_rule
+class DetRepr(Rule):
+    rule_id = "DET-repr"
+    title = "no repr()/str()/format()/id() in sort keys, dict keys or ordering comparisons"
+    hint = "order by interned ids or insertion rank (graph/interning.py), not string/identity forms"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        is_order_call = (isinstance(func, ast.Name) and func.id in _ORDER_FUNCS) or (
+            isinstance(func, ast.Attribute) and func.attr == "sort"
+        )
+        if is_order_call:
+            for kw in node.keywords:
+                if kw.arg == "key":
+                    bad = _banned_use(kw.value, bare_names=True)
+                    if bad is not None:
+                        self.report(
+                            kw.value,
+                            "string/identity conversion in a sort key "
+                            "(orderings must be value-based and hash-seed-free)",
+                        )
+        if isinstance(func, ast.Attribute) and func.attr in _DICT_PROBES and node.args:
+            bad = _banned_use(node.args[0])
+            if bad is not None:
+                self.report(
+                    node.args[0],
+                    f"string/identity conversion used as a .{func.attr}() key",
+                )
+        self.generic_visit(node)
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        for key in node.keys:
+            if key is None:  # **expansion
+                continue
+            bad = _banned_use(key)
+            if bad is not None:
+                self.report(key, "string/identity conversion used as a dict key")
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        bad = _banned_use(node.slice)
+        if bad is not None:
+            self.report(node.slice, "string/identity conversion used as a subscript key")
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, _ORDERING_OPS) for op in node.ops):
+            for operand in (node.left, *node.comparators):
+                bad = _banned_use(operand)
+                if bad is not None:
+                    self.report(
+                        operand,
+                        "string/identity conversion in an ordering comparison",
+                    )
+        self.generic_visit(node)

@@ -1,0 +1,96 @@
+"""DET-setiter: don't iterate sets into ordering-sensitive code.
+
+Set (and hash-keyed) iteration order depends on element hashes and
+insertion history; under ``PYTHONHASHSEED`` randomisation it is not even
+stable across runs of the same binary for strings.  Any loop that feeds a
+set's order into an ordered artefact — an assignment vector, a match
+list, a queue, a written report — is the PR 2 bug class wearing a
+different hat.  On ordering-sensitive modules the rule flags:
+
+* ``for x in <set>`` (and ``async for``),
+* list/generator/dict comprehensions drawing from a set,
+* ``list()``/``tuple()``/``enumerate()``/``iter()``/``reversed()`` over a
+  set,
+* ``yield from <set>``,
+
+where *set* is statically evident (see
+:mod:`repro.analysis.rules._shared`).  Consumption through
+order-insensitive builtins (``sorted``, ``len``, ``min``, ``max``,
+``any``, ``all``, ``sum``, ``set``) is exempt — ``sorted(s)`` is the
+canonical fix.  Set comprehensions over sets are exempt too (the result
+is again unordered).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from repro.analysis.engine import register_rule
+from repro.analysis.rules._shared import (
+    ORDER_INSENSITIVE_CONSUMERS,
+    ScopedSetRule,
+    is_set_typed,
+)
+
+_ITERATING_BUILTINS = frozenset({"list", "tuple", "enumerate", "iter", "reversed"})
+
+_MESSAGE = "iteration over a set leaks hash order into an ordered result"
+
+
+@register_rule
+class DetSetIter(ScopedSetRule):
+    rule_id = "DET-setiter"
+    title = "no bare set iteration feeding ordering-sensitive constructs"
+    hint = "wrap the set in sorted(...) (ids sort free) or keep an insertion-ordered list"
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        #: Comprehension nodes that are the direct argument of an
+        #: order-insensitive consumer (``sorted(x for x in s)``).
+        self._exempt: Set[int] = set()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in ORDER_INSENSITIVE_CONSUMERS:
+                for arg in node.args:
+                    self._exempt.add(id(arg))
+            elif func.id in _ITERATING_BUILTINS and node.args:
+                if is_set_typed(node.args[0], self.known_sets()):
+                    self.report(node, f"{func.id}() {_MESSAGE}")
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if is_set_typed(node.iter, self.known_sets()):
+            self.report(node.iter, f"for-loop {_MESSAGE}")
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        if is_set_typed(node.iter, self.known_sets()):
+            self.report(node.iter, f"for-loop {_MESSAGE}")
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node: ast.AST) -> None:
+        if id(node) not in self._exempt:
+            for gen in node.generators:
+                if is_set_typed(gen.iter, self.known_sets()):
+                    self.report(gen.iter, f"comprehension {_MESSAGE}")
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_comprehension(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._check_comprehension(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._check_comprehension(node)
+
+    # SetComp deliberately unchecked: a set built from a set is unordered in
+    # and unordered out.
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        if is_set_typed(node.value, self.known_sets()):
+            self.report(node, f"yield-from {_MESSAGE}")
+        self.generic_visit(node)

@@ -1,0 +1,60 @@
+"""DET-time: no wall-clock reads outside bench*/ and the traffic driver.
+
+Wall-clock values that reach a result (a tie-break, a cache key, a
+report digest) make bit-identical double runs impossible by
+construction.  The rule flags reads of calendar time:
+
+* ``time.time`` / ``time.time_ns`` / ``time.localtime`` / ``time.gmtime``
+  / ``time.ctime`` / ``time.asctime`` / ``time.strftime``;
+* ``datetime.now`` / ``utcnow`` / ``today`` on the ``datetime``/``date``
+  classes (any import spelling — the receiver chain is matched by name).
+
+Monotonic timers — ``time.perf_counter`` / ``time.monotonic`` — are
+deliberately *exempt*: the runtime and serving layers use them to report
+``*_seconds`` timings and to bound queue waits, and a duration
+measurement never decides a placement.  What the rule polices is calendar
+time leaking into results; benchmarks (whose job is timing) and
+``serving/traffic.py`` (simulated request clock) are exempt by scope.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Rule, dotted_name, module_aliases, register_rule
+
+_WALL_CLOCK_TIME_ATTRS = frozenset(
+    {"time", "time_ns", "localtime", "gmtime", "ctime", "asctime", "strftime"}
+)
+_WALL_CLOCK_DT_ATTRS = frozenset({"now", "utcnow", "today"})
+_DT_RECEIVERS = frozenset({"datetime", "date"})
+
+
+@register_rule
+class DetTime(Rule):
+    rule_id = "DET-time"
+    title = "no wall-clock reads outside bench*/ and serving/traffic.py"
+    hint = "thread timestamps in from the caller (or move the read into bench*/)"
+
+    def run(self):
+        self._time_aliases = module_aliases(self.ctx.tree, "time")
+        self.visit(self.ctx.tree)
+        return self.findings
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            parts = name.split(".")
+            if (
+                len(parts) == 2
+                and parts[0] in self._time_aliases
+                and parts[1] in _WALL_CLOCK_TIME_ATTRS
+            ):
+                self.report(node, f"{name}() reads the wall clock")
+            elif (
+                len(parts) >= 2
+                and parts[-1] in _WALL_CLOCK_DT_ATTRS
+                and parts[-2] in _DT_RECEIVERS
+            ):
+                self.report(node, f"{name}() reads the wall clock")
+        self.generic_visit(node)

@@ -1,0 +1,57 @@
+"""FLT-accum: no float accumulation over unordered collections.
+
+Float addition is not associative: summing the same terms in a different
+order can flip the last mantissa bits, and PR 6's counter-parity work
+showed how far a one-ulp difference propagates once it decides an
+auction.  The matcher's prefix-sum auction accumulation (PR 3) exists
+precisely to pin term grouping; this rule keeps new code from undoing it.
+On the auction/allocation FP paths it flags
+
+* ``sum(...)`` / ``math.fsum(...)`` / ``np.sum(...)``
+
+whose argument is statically a set, or a generator/comprehension drawing
+from one — the term order is then hash order, different every run.  Sums
+over lists/tuples are legal (their order is the code's responsibility);
+``sum`` over a *sorted* set is the canonical fix.  Integer sums over sets
+are order-insensitive in value, but the rule cannot see element types and
+the FP modules are exactly where a float sneaks in — hence conservative.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import dotted_name, register_rule
+from repro.analysis.rules._shared import ScopedSetRule, is_set_typed
+
+_SUM_DOTTED = frozenset({"math.fsum", "np.sum", "numpy.sum", "np.nansum", "numpy.nansum"})
+
+
+@register_rule
+class FltAccum(ScopedSetRule):
+    rule_id = "FLT-accum"
+    title = "no sum()/fsum() over sets in auction/allocation FP paths"
+    hint = "accumulate over sorted(...) or an insertion-ordered list so FP term order is pinned"
+
+    def _is_sum_call(self, func: ast.AST) -> bool:
+        if isinstance(func, ast.Name) and func.id in ("sum", "fsum"):
+            return True
+        name = dotted_name(func)
+        return name in _SUM_DOTTED
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._is_sum_call(node.func) and node.args:
+            arg = node.args[0]
+            known = self.known_sets()
+            unordered = is_set_typed(arg, known)
+            if not unordered and isinstance(
+                arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)
+            ):
+                unordered = any(is_set_typed(gen.iter, known) for gen in arg.generators)
+            if unordered:
+                self.report(
+                    node,
+                    "float accumulation over a set: term order is hash order, "
+                    "so the sum's bit pattern varies run to run",
+                )
+        self.generic_visit(node)

@@ -1,0 +1,128 @@
+"""INT-boundary: core/ speaks interned ids, not raw vertex objects.
+
+PR 1 drew the interning boundary: everything under ``core/`` runs on
+dense integer vertex ids (``graph/interning.py``), and raw vertex objects
+— arbitrary hashables supplied by datasets — exist only at the public
+rim, translated on the way in.  Keying a dict by a raw vertex re-imports
+object ``__hash__``/``__eq__`` semantics into the hot path (plus the
+per-probe boxing cost the refactor removed); attribute-probing one
+assumes a vertex *type*, which ``Vertex`` (an alias for ``Hashable``)
+never promised.  On ``core/`` modules the rule flags:
+
+* annotations declaring a dict keyed by a raw vertex type —
+  ``Dict[Vertex, ...]``, ``Mapping[Vertex, ...]`` etc. (the raw-type name
+  set lives in :data:`repro.analysis.config.RAW_VERTEX_TYPES`);
+* subscripting a container with a ``Vertex``-annotated parameter
+  (``cache[v]``) — intern first, key by the id;
+* attribute access on a ``Vertex``-annotated parameter (``v.label``).
+
+Passing a vertex *through* (to ``interner.intern(v)``, into a message,
+out to a caller) is legal — only keying and probing are the boundary
+breaks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from repro.analysis import config
+from repro.analysis.engine import Rule, register_rule
+
+_DICT_TYPES = frozenset(
+    {"Dict", "dict", "DefaultDict", "defaultdict", "Mapping", "MutableMapping", "OrderedDict"}
+)
+
+
+def _type_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return ""
+
+
+def _is_vertex_ann(node: ast.AST) -> bool:
+    """Does the annotation denote a raw vertex (``Vertex`` or
+    ``Optional[Vertex]``/``"Vertex"``)?"""
+    if node is None:
+        return False
+    if _type_name(node) in config.RAW_VERTEX_TYPES:
+        return True
+    if isinstance(node, ast.Subscript) and _type_name(node.value) == "Optional":
+        return _is_vertex_ann(node.slice)
+    return False
+
+
+@register_rule
+class IntBoundary(Rule):
+    rule_id = "INT-boundary"
+    title = "core/ must not key dicts by, or attribute-probe, raw vertex objects"
+    hint = "intern at the boundary (state.intern / interner.intern) and key by the dense id"
+
+    # -- annotations declaring vertex-keyed dicts ----------------------
+    def _check_annotation(self, ann: ast.AST) -> None:
+        if ann is None:
+            return
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            try:
+                ann = ast.parse(ann.value, mode="eval").body
+            except SyntaxError:
+                return
+        for node in ast.walk(ann):
+            if isinstance(node, ast.Subscript) and _type_name(node.value) in _DICT_TYPES:
+                key_slot = node.slice
+                if isinstance(key_slot, ast.Tuple) and key_slot.elts:
+                    key_slot = key_slot.elts[0]
+                if _type_name(key_slot) in config.RAW_VERTEX_TYPES:
+                    self.report(
+                        node,
+                        "dict keyed by raw vertex objects below the interning boundary",
+                    )
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_annotation(node.annotation)
+        self.generic_visit(node)
+
+    def _visit_function(self, node) -> None:
+        args = node.args
+        vertex_params: Set[str] = set()
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            self._check_annotation(arg.annotation)
+            if _is_vertex_ann(arg.annotation):
+                vertex_params.add(arg.arg)
+        self._check_annotation(node.returns)
+        if vertex_params:
+            self._check_vertex_usage(node, vertex_params)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    # -- usage of Vertex-annotated parameters --------------------------
+    def _check_vertex_usage(self, func: ast.AST, params: Set[str]) -> None:
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Subscript)
+                and isinstance(node.slice, ast.Name)
+                and node.slice.id in params
+            ):
+                self.report(
+                    node,
+                    f"container keyed by raw vertex parameter {node.slice.id!r}",
+                )
+            elif (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in params
+            ):
+                self.report(
+                    node,
+                    f"attribute probe on raw vertex parameter {node.value.id!r} "
+                    "(Vertex is just Hashable — it has no schema)",
+                )

@@ -1,0 +1,124 @@
+"""MP-pickle: only wire types cross the worker process boundary.
+
+The PR 4 deadlock class: a payload that fails to pickle kills the sender
+mid-``put`` (or the receiver mid-``get``), and before the liveness-poll
+fix the driver would block on a queue nobody would ever feed again.  The
+wire protocol lives in one module — ``runtime/messages.py`` — so the
+boundary is auditable; this rule keeps it that way.  On ``runtime/``
+modules it flags:
+
+* ``queue.put(...)`` / ``put_nowait(...)`` payloads that are
+
+  - lambdas or generator expressions (never picklable),
+  - references to functions defined *inside* another function (closures
+    — unpicklable by reference),
+  - direct constructor calls of non-wire classes (CapWord call whose name
+    was not imported from ``runtime.messages`` and is not a builtin
+    container) — picklability aside, the protocol requires the type to be
+    declared in messages.py;
+
+  tuples/lists/dicts are recursed into; bare names and lowercase helper
+  calls are presumed resolved elsewhere (detlint flags what it can prove);
+
+* ``Process(target=...)`` where the target is a lambda or a nested
+  function — spawn contexts pickle the target by qualified name, so only
+  module-level callables survive the trip.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis.engine import Rule, from_imports, register_rule
+
+_BUILTIN_CONTAINERS = frozenset(
+    {"tuple", "list", "dict", "set", "frozenset", "int", "float", "str", "bytes", "bool"}
+)
+_PUT_METHODS = frozenset({"put", "put_nowait"})
+
+
+@register_rule
+class MpPickle(Rule):
+    rule_id = "MP-pickle"
+    title = "only runtime/messages.py wire types, ids and primitives on runtime queues"
+    hint = "declare the payload type in runtime/messages.py (module-level, picklable) and send that"
+
+    def run(self):
+        self._wire_names: Set[str] = set(from_imports(self.ctx.tree, "messages"))
+        #: Names of functions defined inside another function, per the
+        #: whole file (closure references never pickle).
+        self._nested_defs: Set[str] = set()
+        for node in ast.walk(self.ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for sub in ast.walk(node):
+                    if sub is not node and isinstance(
+                        sub, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        self._nested_defs.add(sub.name)
+        self.visit(self.ctx.tree)
+        return self.findings
+
+    # ------------------------------------------------------------------
+    def _check_payload(self, expr: ast.AST, findings: List[str]) -> None:
+        if isinstance(expr, ast.Lambda):
+            findings.append("a lambda never pickles")
+        elif isinstance(expr, ast.GeneratorExp):
+            findings.append("a generator never pickles")
+        elif isinstance(expr, ast.Name):
+            if expr.id in self._nested_defs:
+                findings.append(f"nested function {expr.id!r} cannot pickle by reference")
+        elif isinstance(expr, (ast.Tuple, ast.List)):
+            for element in expr.elts:
+                self._check_payload(element, findings)
+        elif isinstance(expr, ast.Starred):
+            self._check_payload(expr.value, findings)
+        elif isinstance(expr, ast.Dict):
+            for sub in [*expr.keys, *expr.values]:
+                if sub is not None:
+                    self._check_payload(sub, findings)
+        elif isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name):
+                name = func.id
+                is_constructor = name[:1].isupper()
+                if (
+                    is_constructor
+                    and name not in self._wire_names
+                    and name not in _BUILTIN_CONTAINERS
+                ):
+                    findings.append(
+                        f"{name}(...) is not a wire type from runtime/messages.py"
+                    )
+                for arg in expr.args:
+                    self._check_payload(arg, findings)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _PUT_METHODS and node.args:
+            problems: List[str] = []
+            self._check_payload(node.args[0], problems)
+            for problem in problems:
+                self.report(node, f"queue payload: {problem}")
+        target_attr = func.attr if isinstance(func, ast.Attribute) else None
+        target_name = func.id if isinstance(func, ast.Name) else None
+        if target_attr == "Process" or target_name == "Process":
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    if isinstance(kw.value, ast.Lambda):
+                        self.report(
+                            kw.value,
+                            "Process target is a lambda (unpicklable under spawn)",
+                            hint="use a module-level function",
+                        )
+                    elif (
+                        isinstance(kw.value, ast.Name)
+                        and kw.value.id in self._nested_defs
+                    ):
+                        self.report(
+                            kw.value,
+                            f"Process target {kw.value.id!r} is a nested function "
+                            "(unpicklable under spawn)",
+                            hint="use a module-level function",
+                        )
+        self.generic_visit(node)

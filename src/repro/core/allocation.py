@@ -169,9 +169,10 @@ class EqualOpportunism:
             # resolve ids to objects once per match, not per partition.
             vertex = self.state.interner.vertex
             partition_of = self.state.partition_of
-            match_vertices = {vertex(vid) for vid in match_ids}
+            resolved = [vertex(vid) for vid in match_ids]
+            match_vertices = set(resolved)
             seen: Set[Vertex] = set()
-            for v in match_vertices:
+            for v in resolved:
                 for w in self.neighbor_fn(v):
                     if w not in match_vertices and w not in seen:
                         seen.add(w)

@@ -28,6 +28,14 @@ object at a time.  Three pieces:
 numpy is a real dependency of the package (``pyproject.toml`` declares the
 floor version); the import error below exists to fail fast with an
 actionable message when an environment was hand-rolled without it.
+
+Dtype policy: every numpy constructor in this module (and the columnar
+mirrors it backs) passes ``dtype`` explicitly — always :data:`_INT64`.
+numpy's default integer dtype is the platform C ``long`` (32-bit on
+Windows), so an implicit dtype would silently truncate packed 64-bit edge
+keys.  The policy is machine-checked: detlint's NP-dtype rule
+(``python -m repro.analysis``) rejects dtype-less numpy constructors in
+columnar-adjacent modules.
 """
 
 from __future__ import annotations

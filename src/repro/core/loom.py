@@ -335,7 +335,7 @@ class LoomPartitioner(StreamingPartitioner):
         ``cluster_ids`` arrives already interned (the auction passes match
         ids straight through)."""
         neighborhood: Set[int] = set()
-        for vid in cluster_ids:
+        for vid in cluster_ids:  # detlint: disable=DET-setiter (set-union accumulation is commutative)
             neighborhood |= self._adj.get(vid, set())
         neighborhood -= cluster_ids
         return ldg_choose_ids(self.state, neighborhood)

@@ -925,7 +925,7 @@ class StreamMatcher:
             if bucket:
                 doomed |= bucket
         evict_mid = self.matchlist._evict_mid
-        for mid in doomed:
+        for mid in sorted(doomed):
             evict_mid(mid)
         return self.window.remove_ekeys(ekeys)
 

@@ -97,7 +97,7 @@ class _StickyLoom(LoomPartitioner):
         self,
         state: PartitionState,
         workload: Workload,
-        previous: Dict[Vertex, int],
+        previous: Dict[Vertex, int],  # detlint: disable=INT-boundary (prior-run ids aren't portable)
         stickiness: int = 1,
         **kwargs,
     ) -> None:

@@ -190,7 +190,7 @@ class TPSTry:
                         next_frontier[extended] = child_sig
             frontier = next_frontier
 
-        for key in signatures_this_query:
+        for key in sorted(signatures_this_query):
             self._nodes[key].support += frequency
         self._queries_added += 1
         if pattern.name:
@@ -321,9 +321,11 @@ class TPSTry:
         return f"<TPSTry nodes={self.num_nodes} queries={self._queries_added} depth={self.max_depth}>"
 
 
-def _subgraph_degrees(edge_set: Iterable[Edge]) -> Dict[Vertex, int]:
+def _subgraph_degrees(
+    edge_set: Iterable[Edge],
+) -> Dict[Vertex, int]:  # detlint: disable=INT-boundary (pattern graphs stay raw pre-interning)
     """Degrees of every vertex *within* an edge sub-graph."""
-    degrees: Dict[Vertex, int] = {}
+    degrees: Dict[Vertex, int] = {}  # detlint: disable=INT-boundary (pattern-vertex keys)
     for u, v in edge_set:
         degrees[u] = degrees.get(u, 0) + 1
         degrees[v] = degrees.get(v, 0) + 1
@@ -333,13 +335,18 @@ def _subgraph_degrees(edge_set: Iterable[Edge]) -> Dict[Vertex, int]:
 def _incident_edges(
     pattern: LabelledGraph,
     subgraph: EdgeSet,
-    degrees: Dict[Vertex, int],
+    degrees: Dict[Vertex, int],  # detlint: disable=INT-boundary (pattern-vertex keys)
 ) -> List[Edge]:
-    """Pattern edges not in ``subgraph`` but sharing a vertex with it."""
+    """Pattern edges not in ``subgraph`` but sharing a vertex with it.
+
+    Ordered by the pattern's vertex insertion rank (not set/dict iteration
+    order) so trie node numbering is canonical for a given query file.
+    """
+    rank = {v: i for i, v in enumerate(pattern.vertices())}
     out: List[Edge] = []
     seen: Set[Edge] = set()
-    for v in degrees:
-        for w in pattern.neighbors(v):
+    for v in sorted(degrees, key=rank.__getitem__):
+        for w in sorted(pattern.neighbors(v), key=rank.__getitem__):
             e = normalize_edge(v, w)
             if e not in subgraph and e not in seen:
                 seen.add(e)

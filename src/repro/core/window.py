@@ -169,13 +169,14 @@ class SlidingWindow:
 
         Vertices left isolated are dropped from the window graph — they have
         left ``Ptemp`` (their permanent placement is the allocator's job).
-        Returns the removed events; unknown keys are ignored.
+        Returns the removed events in sorted-key order (canonical — callers
+        may receive ``ekeys`` as a set); unknown keys are ignored.
         """
         removed: List[EdgeEvent] = []
         adj = self._adj
         labels = self._labels
         record_remove = self.cols.record_remove
-        for ekey in ekeys:
+        for ekey in sorted(ekeys):
             event = self._events.pop(ekey, None)
             if event is None:
                 continue

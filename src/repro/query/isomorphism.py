@@ -14,7 +14,7 @@ The search is a standard connected backtracking with two pruning rules:
   never from the whole graph),
 * the first vertex is the one whose label is rarest in the data graph.
 
-Enumeration is deterministic (sorted candidate order) so experiments are
+Enumeration is deterministic (insertion-rank candidate order) so experiments are
 reproducible, and a ``limit`` caps runaway patterns identically across
 partitioners (the embedding set does not depend on the partitioning).
 """
@@ -54,12 +54,15 @@ def search_plan(
             label = graph.label(v)
             label_counts[label] = label_counts.get(label, 0) + 1
 
-    vertices = sorted(pattern.vertices(), key=repr)
+    # Pattern vertices in declaration order; the rank map is the hash-free,
+    # repr-free tie-breaker everywhere below.
+    vertices = list(pattern.vertices())
+    prank = {v: i for i, v in enumerate(vertices)}
     # Start from the vertex with the rarest label in the data graph; break
     # ties toward higher pattern degree (more constraints sooner).
     start = min(
         vertices,
-        key=lambda v: (label_counts.get(pattern.label(v), 0), -pattern.degree(v), repr(v)),
+        key=lambda v: (label_counts.get(pattern.label(v), 0), -pattern.degree(v), prank[v]),
     )
     ordered: List[Vertex] = [start]
     placed = {start}
@@ -67,14 +70,14 @@ def search_plan(
     while len(ordered) < pattern.num_vertices:
         # Greedy: next vertex with the most already-placed neighbours.
         best: Optional[Vertex] = None
-        best_key: Optional[Tuple[int, int, str]] = None
+        best_key: Optional[Tuple[int, int, int]] = None
         for v in vertices:
             if v in placed:
                 continue
             back = sum(1 for w in pattern.neighbors(v) if w in placed)
             if back == 0:
                 continue
-            key = (-back, label_counts.get(pattern.label(v), 0), repr(v))
+            key = (-back, label_counts.get(pattern.label(v), 0), prank[v])
             if best_key is None or key < best_key:
                 best, best_key = v, key
         if best is None:  # pragma: no cover - impossible for connected patterns
@@ -101,6 +104,9 @@ def find_embeddings(
     if graph.num_vertices == 0:
         return
     plan = search_plan(pattern, graph)
+    # Data vertices enumerate in insertion (arrival) order — deterministic
+    # for a given stream, independent of the hash seed and of vertex reprs.
+    grank = {v: i for i, v in enumerate(graph.vertices())}
     mapping: Embedding = {}
     used: set = set()
     produced = 0
@@ -116,14 +122,14 @@ def find_embeddings(
         pv, anchors = plan[depth]
         want = pattern.label(pv)
         if not anchors:
-            candidates: Sequence[Vertex] = sorted(
-                (v for v in graph.vertices() if graph.label(v) == want), key=repr
-            )
+            candidates: Sequence[Vertex] = [
+                v for v in graph.vertices() if graph.label(v) == want
+            ]
         else:
             # Candidates adjacent to the first anchor; remaining anchors
             # are checked below.
             first = mapping[anchors[0]]
-            candidates = sorted(graph.neighbors(first), key=repr)
+            candidates = sorted(graph.neighbors(first), key=grank.__getitem__)
         for gv in candidates:
             if gv in used or graph.label(gv) != want:
                 continue

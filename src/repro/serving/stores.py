@@ -281,7 +281,7 @@ class ServingStores:
             d += 1
             nxt: List[int] = []
             for vid in frontier:
-                for w in self.neighbors(vid):
+                for w in self.neighbors(vid):  # detlint: disable=DET-setiter (neighbors is a sorted list)
                     if w not in dist:
                         dist[w] = d
                         nxt.append(w)

@@ -21,10 +21,21 @@ Each (system, repeat) runs a fresh engine and cold cache; hops must be
 bit-identical across repeats (served results are deterministic — only
 timing varies), and timing is best-of ``--repeats``.
 
+**Scaling mode** (on by default, ``--no-scaling`` to skip) then drives the
+same traffic through :class:`~repro.runtime.live.LiveCluster` at each
+``--scale-shards`` count — real shard-server processes, hops as actual
+inter-process messages, up to ``--inflight`` requests overlapping — and
+writes one ``results["scaling"]["sN"]`` row per count (queries/s,
+p50/p95/p99, hop messages, ``gain_vs_baseline``).  Answers are asserted
+bit-identical across shard counts before any timing is reported.  On a
+multi-core box the curve shows the scale-out win; on one core it
+honestly shows process overhead.
+
 Run from the repository root::
 
     python benchmarks/bench_serving.py        # writes BENCH_serving.json
     python benchmarks/bench_serving.py --requests 500 --systems hash loom
+    python benchmarks/bench_serving.py --scale-shards 1 2 4 8 --inflight 16
 """
 
 import argparse
@@ -42,7 +53,8 @@ from bench_util import bench_workload, load_baseline
 from repro.graph.stream import stream_to_graph, synthetic_stream
 from repro.partitioning import registry
 from repro.partitioning.state import PartitionState
-from repro.serving import ServingEngine, TrafficDriver
+from repro.runtime.live import LiveCluster
+from repro.serving import LiveTrafficDriver, ServingEngine, TrafficDriver
 
 DEFAULT_VERTICES = 900
 DEFAULT_EDGES = 5_400
@@ -64,6 +76,22 @@ CONFIG_KEYS = (
     "hop_cost_us",
     "router",
     "cache",
+)
+
+#: Scaling-mode knobs that must match for scaling gains to be comparable.
+SCALING_CONFIG_KEYS = (
+    "vertices",
+    "edges",
+    "k",
+    "seed",
+    "window",
+    "zipf",
+    "router",
+    "cache",
+    "scale_system",
+    "scale_requests",
+    "inflight",
+    "scale_shards",
 )
 
 
@@ -162,6 +190,107 @@ def run(args, baseline=None) -> dict:
     return results
 
 
+def _baseline_scaling_qps(baseline, label, args):
+    """Committed queries/s for scaling row ``label`` — config-guarded."""
+    if baseline is None:
+        return None
+    cfg = baseline.get("scaling_config", {})
+    current = {key: getattr(args, key) for key in SCALING_CONFIG_KEYS}
+    mismatched = [key for key in SCALING_CONFIG_KEYS if cfg.get(key) != current[key]]
+    if mismatched:
+        print(
+            f"note: scaling baseline config differs on {', '.join(mismatched)}; "
+            f"gain_vs_baseline omitted for scaling.{label}",
+            file=sys.stderr,
+        )
+        return None
+    return baseline.get("results", {}).get("scaling", {}).get(label, {}).get("queries_per_sec")
+
+
+def run_scaling(args, baseline=None) -> dict:
+    """The multi-core curve: identical traffic through 1/2/4… live shard
+    servers, one row per shard count.
+
+    Hops are real inter-process messages here (no modelled ``hop_cost_us``)
+    and up to ``--inflight`` requests overlap — so queries/s measures what
+    the process topology can actually sustain on the machine's cores.  The
+    per-request *answers* must not depend on the shard count; the run
+    asserts that before reporting any timing.
+    """
+    workload = bench_workload()
+    events = list(synthetic_stream(args.vertices, args.edges, seed=args.seed))
+    graph = stream_to_graph(events, name="bench")
+    rows = {}
+    requests = None
+    golden = None
+    for num_shards in args.scale_shards:
+        state = PartitionState.for_graph(args.k, graph.num_vertices)
+        partitioner = registry.create(
+            args.scale_system,
+            state,
+            graph=graph,
+            workload=workload if args.scale_system == "loom" else None,
+            window_size=args.window if args.scale_system == "loom" else None,
+            seed=args.seed,
+        )
+        partitioner.ingest_all(events)
+
+        best = None
+        for _ in range(max(1, args.repeats)):
+            with LiveCluster(
+                graph,
+                state,
+                workload,
+                num_shards=num_shards,
+                router=args.router,
+                cache=args.cache,
+            ) as cluster:
+                driver = LiveTrafficDriver(cluster, seed=args.seed, zipf_s=args.zipf)
+                if requests is None:
+                    requests = driver.sample(args.scale_requests)
+                report = driver.run(
+                    0,
+                    requests=requests,
+                    system=args.scale_system,
+                    inflight=args.inflight,
+                    collect_results=True,
+                )
+            answers = [(r.query, r.root, r.embeddings, r.hops) for r in report.results]
+            if golden is None:
+                golden = answers
+            elif answers != golden:
+                raise AssertionError(
+                    f"scaling s{num_shards}: answers differ from the first "
+                    "shard count — the distributed DFS must be bit-identical"
+                )
+            if best is None or report.wall_seconds < best.wall_seconds:
+                best = report
+        label = f"s{num_shards}"
+        row = best.as_dict()
+        del row["system"]
+        base_qps = _baseline_scaling_qps(baseline, label, args)
+        note = ""
+        if base_qps:
+            row["baseline_queries_per_sec"] = base_qps
+            row["gain_vs_baseline"] = round(row["queries_per_sec"] / base_qps, 3)
+            note = f", {row['gain_vs_baseline']:.2f}x vs committed"
+        rows[label] = row
+        print(
+            f"{label:>7}: {row['queries_per_sec']:>10,.0f} q/s, "
+            f"{row['hops_per_query']:.3f} hops/q, {row['hop_messages']} hop msgs, "
+            f"p99 {row['p99_ms']:.3f} ms, hit rate {row['cache_hit_rate']:.2f}{note}"
+        )
+    base = rows.get(f"s{args.scale_shards[0]}", {}).get("queries_per_sec")
+    if base:
+        for label, row in rows.items():
+            row["speedup_vs_one"] = round(row["queries_per_sec"] / base, 3)
+        print(
+            "scaling: "
+            + ", ".join(f"{label} {row['speedup_vs_one']:.2f}x" for label, row in rows.items())
+        )
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--vertices", type=int, default=DEFAULT_VERTICES)
@@ -199,6 +328,39 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--systems", nargs="+", default=list(DEFAULT_SYSTEMS))
     parser.add_argument(
+        "--scale-shards",
+        dest="scale_shards",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        help="live shard-server counts for the scaling curve",
+    )
+    parser.add_argument(
+        "--scale-system",
+        dest="scale_system",
+        default="loom",
+        help="partitioner behind the scaling curve",
+    )
+    parser.add_argument(
+        "--scale-requests",
+        dest="scale_requests",
+        type=int,
+        default=1_000,
+        help="closed-loop requests per shard count in scaling mode",
+    )
+    parser.add_argument(
+        "--inflight",
+        type=int,
+        default=8,
+        help="concurrent in-flight requests against the live cluster",
+    )
+    parser.add_argument(
+        "--no-scaling",
+        dest="scaling",
+        action="store_false",
+        help="skip the live multi-shard scaling curve",
+    )
+    parser.add_argument(
         "--out", default=str(Path(__file__).resolve().parent.parent / "BENCH_serving.json")
     )
     parser.add_argument(
@@ -216,6 +378,10 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "results": results,
     }
+    if args.scaling:
+        print("-- live scaling curve --")
+        results["scaling"] = run_scaling(args, baseline)
+        payload["scaling_config"] = {key: getattr(args, key) for key in SCALING_CONFIG_KEYS}
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(payload, f, indent=2)
         f.write("\n")

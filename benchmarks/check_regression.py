@@ -54,7 +54,8 @@ def check_file(path: str, threshold: float) -> "tuple[List[Dict], List[Dict]]":
 def render_table(path: str, rows: List[Dict], threshold: float) -> str:
     lines = [
         f"{path}:",
-        f"  {'system':<24} {'baseline rate':>14} {'current rate':>14} {'gain':>8}  status",
+        f"  {'system':<24} {'baseline rate':>14} {'current rate':>14} "
+        f"{'p99 ms':>9} {'gain':>8}  status",
     ]
     for entry in rows:
         row = entry["row"]
@@ -68,11 +69,14 @@ def render_table(path: str, rows: List[Dict], threshold: float) -> str:
             or row.get("edges_per_sec")
             or row.get("queries_per_sec")
         )
+        p99 = row.get("p99_ms")
         baseline_cell = f"{baseline:>14,.0f}" if baseline is not None else f"{'?':>14}"
         current_cell = f"{current:>14,.0f}" if current is not None else f"{'?':>14}"
+        p99_cell = f"{p99:>9.3f}" if p99 is not None else f"{'-':>9}"
         status = "ok" if gain >= threshold else f"REGRESSION (< {threshold:g}x)"
         lines.append(
-            f"  {entry['label']:<24} {baseline_cell} {current_cell} {gain:>7.2f}x  {status}"
+            f"  {entry['label']:<24} {baseline_cell} {current_cell} "
+            f"{p99_cell} {gain:>7.2f}x  {status}"
         )
     return "\n".join(lines)
 

@@ -95,6 +95,23 @@ def build_parser() -> argparse.ArgumentParser:
         "percentiles and hops (requires --workload)",
     )
     parser.add_argument(
+        "--serve-shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve through N live shard-server processes (the runtime's "
+        "ingest-and-serve cluster) instead of the in-process engine; "
+        "hops become real inter-process messages (serve mode only)",
+    )
+    parser.add_argument(
+        "--inflight",
+        type=int,
+        default=8,
+        metavar="M",
+        help="closed-loop concurrency against the live cluster: up to M "
+        "requests outstanding at once (--serve-shards only)",
+    )
+    parser.add_argument(
         "--router",
         choices=available_routers(),
         default="candidate-count",
@@ -236,7 +253,52 @@ def main(argv: Optional[list] = None) -> int:
         if report.capped or args.stats:
             names = ", ".join(report.capped_queries) if report.capped else "none"
             print(f"executor.capped_queries: {names}", file=sys.stderr)
-    if args.serve:
+    if args.serve and args.serve_shards > 0:
+        # Live mode: the same traffic stream, but against real shard-server
+        # processes — every cross-partition hop is an actual message, so
+        # --hop-cost-us does not apply (nothing is modelled).
+        from repro.runtime.live import LiveCluster
+        from repro.serving.traffic import LiveTrafficDriver
+
+        if args.inflight < 1:
+            print("error: --inflight must be at least 1", file=sys.stderr)
+            return 2
+        with LiveCluster(
+            graph,
+            state,
+            workload,
+            num_shards=args.serve_shards,
+            router=args.router,
+            cache=not args.no_cache,
+        ) as cluster:
+            driver = LiveTrafficDriver(cluster, seed=args.seed, zipf_s=args.zipf)
+            traffic = driver.run(args.serve, system=args.system, inflight=args.inflight)
+            for key, value in traffic.as_dict().items():
+                print(f"serve.{key}: {value}", file=sys.stderr)
+            if args.stats:
+                cluster_stats = cluster.stats()
+                print(
+                    f"serve.cluster.queue_depths: {cluster_stats['queue_depths']}",
+                    file=sys.stderr,
+                )
+                print(
+                    "serve.cluster.hop_messages_sent: "
+                    f"{cluster_stats['hop_messages_sent']}",
+                    file=sys.stderr,
+                )
+                for shard in cluster_stats["shards"]:
+                    cache_stats = shard.get("cache_stats") or {}
+                    hit_rate = cache_stats.get("hit_rate", 0.0)
+                    print(
+                        f"serve.shard{shard['shard_id']}: "
+                        f"requests={shard['requests_served']} "
+                        f"steps={shard['steps_executed']} "
+                        f"hop_messages={shard['hop_messages']} "
+                        f"members={shard['members']} ghosts={shard['ghosts']} "
+                        f"cache_hit_rate={hit_rate}",
+                        file=sys.stderr,
+                    )
+    elif args.serve:
         engine = ServingEngine(
             graph,
             state,

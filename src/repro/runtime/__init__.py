@@ -31,22 +31,36 @@ from repro.runtime.merge import (
     merge_shard_results,
     register_merge_rule,
 )
-from repro.runtime.messages import GraphTotals, ShardResult, WorkerSpec
+from repro.runtime.live import LiveCluster, shard_of_partition
+from repro.runtime.liveness import ShardProcessError, describe_exit
+from repro.runtime.messages import (
+    SCHEMA_VERSION,
+    GraphTotals,
+    ServerStats,
+    ShardResult,
+    WorkerSpec,
+)
 from repro.runtime.sharding import ShardRouter, mix64, shard_of_edge
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_QUEUE_DEPTH",
     "GraphTotals",
+    "LiveCluster",
     "MergeOutcome",
+    "SCHEMA_VERSION",
+    "ServerStats",
+    "ShardProcessError",
     "ShardedRunResult",
     "ShardResult",
     "ShardRouter",
     "WorkerSpec",
     "available_merge_rules",
+    "describe_exit",
     "merge_shard_results",
     "mix64",
     "register_merge_rule",
     "run_sharded",
     "shard_of_edge",
+    "shard_of_partition",
 ]

@@ -34,6 +34,7 @@ from typing import Dict, Iterable, List, Optional
 from repro.graph.stream import EdgeEvent
 from repro.partitioning import registry
 from repro.partitioning.state import PartitionState
+from repro.runtime.liveness import describe_exit, failure_from_process, raise_failure
 from repro.runtime.merge import MergeOutcome, merge_rule, merge_shard_results
 from repro.runtime.messages import END_OF_STREAM, ShardResult, WorkerFailure, WorkerSpec
 from repro.runtime.sharding import ShardRouter
@@ -149,12 +150,6 @@ def run_sharded(
     edges = 0
     early: List[ShardResult] = []  # results that arrive while still feeding
 
-    def raise_failure(failure: WorkerFailure) -> None:
-        raise RuntimeError(
-            f"shard {failure.shard_id} worker failed: {failure.error}\n"
-            f"{failure.traceback}"
-        )
-
     def put_with_liveness(shard: int, item) -> None:
         # The put() on a full bounded queue is the backpressure point — but
         # a queue can also be full because its worker died mid-stream.
@@ -174,10 +169,17 @@ def run_sharded(
                         raise_failure(outcome)
                     early.append(outcome)
                 if not workers[shard].is_alive():
-                    raise RuntimeError(
-                        f"shard {shard} worker died mid-stream without "
-                        "reporting a failure"
-                    )
+                    # One grace read: the failure may still be in the queue
+                    # feeder's pipe even though the process already exited.
+                    try:
+                        outcome = out_queue.get(timeout=1.0)
+                    except queue_module.Empty:
+                        raise failure_from_process(
+                            shard, workers[shard], "mid-stream"
+                        ) from None
+                    if isinstance(outcome, WorkerFailure):
+                        raise_failure(outcome)
+                    early.append(outcome)
 
     try:
         # Feed: intern, route, buffer, flush full buffers.
@@ -219,8 +221,13 @@ def run_sharded(
                     try:
                         outcome = out_queue.get(timeout=1.0)
                     except queue_module.Empty:
+                        post_mortems = ", ".join(
+                            f"shard {shard}: {describe_exit(workers[shard])}"
+                            for shard in dead
+                        )
                         raise RuntimeError(
-                            f"shard workers {dead} died without reporting a result"
+                            f"shard workers {dead} died without reporting a "
+                            f"result [{post_mortems}]"
                         ) from None
                     if isinstance(outcome, WorkerFailure):
                         raise_failure(outcome)

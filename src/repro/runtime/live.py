@@ -1,0 +1,739 @@
+"""The live cluster driver: N shard servers, one authoritative stream.
+
+:class:`LiveCluster` is the ingest-and-serve composition of the two
+scaling layers: the PR 4 runtime's process topology (bounded queues,
+liveness-checked backpressure, failure envelopes) carrying the PR 5
+serving engine's execution, sharded.  One driver process owns the
+*decisions* — the single streaming partitioner, the
+:class:`~repro.graph.labelled_graph.LabelledGraph`, plan compilation and
+query routing over an adjacency-free
+:class:`~repro.serving.stores.RoutingIndex` — while ``num_shards``
+long-lived :mod:`repro.runtime.server` processes own the *data*: each
+holds the :class:`~repro.serving.stores.ShardStores` (and the
+:class:`~repro.serving.cache.ResultCache` slice) of the partitions with
+``p % num_shards == shard_id``.
+
+Ingest is a **barriered round**: the driver partitions a batch, derives
+the visible edge delta, and sends every server an
+:class:`~repro.runtime.messages.EdgeUpdate` (possibly empty — the
+sequence number advances uniformly, which is what the cache-epoch rule
+compares).  Acks return cache-invalidation *forwards* — ghost vertices a
+shard's radius-BFS settled that another shard owns — and the driver
+relays them as :class:`~repro.runtime.messages.InvalidationHops` waves
+until the frontier is dry.
+
+Serving is a **continuation pipeline**: a root request goes to the root
+owner; the shard executes as far as it can see and returns ordered
+segments; every embedded :class:`~repro.serving.execution.Continuation`
+becomes a :class:`~repro.runtime.messages.StepRequest` to the shard that
+owns the next expansion — the cross-partition hop as an actual message —
+and the driver splices resolved subtrees back in DFS order, so the final
+:class:`~repro.serving.engine.RootResult` is bit-identical to the
+single-process engine's.  Up to ``inflight`` roots are outstanding at
+once (the closed-loop traffic mode); results assembled from multiple
+shards are written back to the root owner's cache with an epoch guard.
+
+Determinism contract (tested in ``tests/test_live_serving.py`` and the
+determinism suites): on a quiesced stream every answer, hop count and
+cache statistic is bit-identical to the single-process engine for any
+shard count; under interleaved ingest/serve the lock-step pattern (ingest
+round barrier, then a serve burst) keeps the same guarantee because every
+request observes exactly one epoch.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import multiprocessing as mp
+import time
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.graph.labelled_graph import LabelledGraph
+from repro.graph.stream import EdgeEvent
+from repro.graph.interning import unpack_edge
+from repro.partitioning.base import StreamingPartitioner
+from repro.partitioning.state import UNASSIGNED, PartitionState
+from repro.query.workload import Workload
+from repro.runtime.liveness import describe_exit, failure_from_process, raise_failure
+from repro.runtime.messages import (
+    END_OF_STREAM,
+    CachePut,
+    EdgeUpdate,
+    IngestAck,
+    InvalidationHops,
+    QueryRequest,
+    ServeSpec,
+    ServerFailure,
+    ServerStats,
+    StatsRequest,
+    StepReply,
+    StepRequest,
+)
+from repro.runtime.server import shard_server_main
+from repro.serving.engine import QueryServeReport, RootResult, ServeReport, _CompiledQuery
+from repro.serving.execution import Continuation, LiteralSegment
+from repro.serving.router import Router, create_router
+from repro.serving.stores import RoutingIndex
+
+DEFAULT_QUEUE_DEPTH = 16
+"""Messages a server queue buffers before the driver's put blocks."""
+
+#: Edge rows per bootstrap EdgeUpdate round (bounds message size when a
+#: cluster is built over an already-streamed graph).
+BOOTSTRAP_CHUNK = 8192
+
+
+def shard_of_partition(partition: int, num_shards: int) -> int:
+    """The shard that owns ``partition`` — the cluster's placement rule."""
+    return partition % num_shards
+
+
+class _Hole:
+    """Driver-local splice marker: where a dispatched step's results go."""
+
+    __slots__ = ("step_id",)
+
+    def __init__(self, step_id: int) -> None:
+        self.step_id = step_id
+
+
+class _PendingRequest:
+    """Driver-side state of one in-flight ``(query, root)`` request."""
+
+    __slots__ = (
+        "request_id",
+        "query",
+        "root",
+        "plan",
+        "root_segments",
+        "steps",
+        "outstanding",
+        "root_received",
+        "dispatched_steps",
+        "seqs",
+        "cached",
+        "result",
+    )
+
+    def __init__(self, request_id: int, query: str, root: int, plan) -> None:
+        self.request_id = request_id
+        self.query = query
+        self.root = root
+        self.plan = plan
+        self.root_segments: Optional[List[object]] = None
+        #: step id → resolved segment list (with holes for its children).
+        self.steps: Dict[int, List[object]] = {}
+        self.outstanding = 0
+        self.root_received = False
+        self.dispatched_steps = 0
+        self.seqs: set = set()
+        self.cached: Optional[bool] = None
+        self.result: Optional[RootResult] = None
+
+
+class LiveCluster:
+    """N live shard servers behind one routing/ingest driver.
+
+    Parameters mirror :class:`~repro.serving.engine.ServingEngine` where
+    they overlap (``router``, ``cache``, ``partitioner``); ``num_shards``
+    picks the process topology.  Use as a context manager, or call
+    :meth:`close` — servers are long-lived processes and hold queues open
+    until told to exit.
+    """
+
+    def __init__(
+        self,
+        graph: LabelledGraph,
+        state: PartitionState,
+        workload: Workload,
+        *,
+        num_shards: int,
+        router: Union[Router, str] = "candidate-count",
+        cache: bool = True,
+        cache_capacity: Optional[int] = None,
+        partitioner: Optional[StreamingPartitioner] = None,
+        start_method: Optional[str] = None,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        request_timeout: float = 120.0,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        if partitioner is not None and partitioner.state is not state:
+            raise ValueError("partitioner must share the cluster's PartitionState")
+        self.graph = graph
+        self.state = state
+        self.workload = workload
+        self.num_shards = num_shards
+        self.router = create_router(router) if isinstance(router, str) else router
+        self.cache_enabled = bool(cache)
+        self.partitioner = partitioner
+        self.request_timeout = request_timeout
+
+        self.index = RoutingIndex.from_state(graph, state)
+        self._label_counts: Dict[str, int] = {}
+        for v in graph.vertices():
+            label = graph.label(v)
+            self._label_counts[label] = self._label_counts.get(label, 0) + 1
+        self._queries: Dict[str, _CompiledQuery] = {}
+        self._compile_plans()
+
+        self._seq = -1
+        self._next_request_id = 0
+        self._pending: Dict[int, _PendingRequest] = {}
+        self._completed: "deque[int]" = deque()
+        self._results: Dict[int, RootResult] = {}
+        #: request id → shard-reported cache flag (True hit / False miss /
+        #: None when caching is off or the root was answered driver-side).
+        self._cached_flags: Dict[int, Optional[bool]] = {}
+        self._inbox: "deque[object]" = deque()
+        self.hop_messages_sent = 0
+        self.requests_completed = 0
+        #: Cache flag of the most recent :meth:`wait` completion.
+        self.last_cached: Optional[bool] = None
+        self._closed = False
+
+        ctx = mp.get_context(
+            start_method
+            if start_method is not None
+            else ("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+        )
+        depths = tuple(sorted((name, plan.depth) for name, plan in self._queries.items()))
+        self._ingest_queues = [ctx.Queue(maxsize=queue_depth) for _ in range(num_shards)]
+        self._request_queues = [ctx.Queue(maxsize=queue_depth) for _ in range(num_shards)]
+        self._out_queue = ctx.Queue()
+        self._servers = []
+        for shard_id in range(num_shards):
+            spec = ServeSpec(
+                shard_id=shard_id,
+                num_shards=num_shards,
+                k=state.k,
+                query_depths=depths,
+                cache_enabled=self.cache_enabled,
+                cache_capacity=cache_capacity,
+            )
+            process = ctx.Process(
+                target=shard_server_main,
+                args=(
+                    spec,
+                    self._ingest_queues[shard_id],
+                    self._request_queues[shard_id],
+                    self._out_queue,
+                ),
+                name=f"loom-serve-{shard_id}",
+                daemon=True,
+            )
+            process.start()
+            self._servers.append(process)
+        try:
+            self._bootstrap()
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Plan compilation (driver-side twin of the engine's)
+    # ------------------------------------------------------------------
+    def _compile_plans(self) -> Tuple[str, ...]:
+        """(Re)compile every plan; returns the queries whose root slot moved
+        (their shard-side cache entries are dropped via EdgeUpdate)."""
+        dropped: List[str] = []
+        for entry in self.workload:
+            compiled = _CompiledQuery(entry, self.graph, self.index, self._label_counts)
+            previous = self._queries.get(compiled.name)
+            if previous is not None and previous.signature != compiled.signature:
+                dropped.append(compiled.name)
+            self._queries[compiled.name] = compiled
+        return tuple(dropped)
+
+    def query_names(self) -> List[str]:
+        return list(self._queries)
+
+    def root_label_id(self, query_name: str) -> int:
+        return self._plan(query_name).label_ids[0]
+
+    def root_candidates(self, query_name: str) -> List[int]:
+        """All stored root-candidate ids for a query (the traffic surface)."""
+        return self.index.all_candidates(self.root_label_id(query_name))
+
+    def _plan(self, query_name: str) -> _CompiledQuery:
+        plan = self._queries.get(query_name)
+        if plan is None:
+            raise KeyError(f"no query named {query_name!r}; workload has {self.query_names()}")
+        return plan
+
+    # ------------------------------------------------------------------
+    # Process plumbing
+    # ------------------------------------------------------------------
+    def _check_servers(self) -> None:
+        for shard_id, process in enumerate(self._servers):
+            if not process.is_alive():
+                # One grace read: the failure envelope may still be in flight.
+                try:
+                    message = self._out_queue.get(timeout=1.0)
+                except queue_module.Empty:
+                    raise failure_from_process(shard_id, process, "mid-serve") from None
+                if isinstance(message, ServerFailure):
+                    raise_failure(message)
+                self._inbox.append(message)
+
+    def _put(self, queues, shard: int, item) -> None:
+        """Bounded put with liveness: drain replies while the queue is full
+        so a dead or wedged server surfaces as an error, not a hang."""
+        while True:
+            try:
+                queues[shard].put(item, timeout=1.0)
+                return
+            except queue_module.Full:
+                while True:
+                    try:
+                        message = self._out_queue.get_nowait()
+                    except queue_module.Empty:
+                        break
+                    if isinstance(message, ServerFailure):
+                        raise_failure(message)
+                    self._inbox.append(message)
+                self._check_servers()
+
+    def _next_message(self, deadline: float, soft: bool = False):
+        """One message from the inbox or the shared reply queue.
+
+        ``soft`` makes the deadline a polling budget: return ``None`` when
+        it passes instead of raising (the open-loop driver's pacing path).
+        """
+        if self._inbox:
+            return self._inbox.popleft()
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                if soft:
+                    # Even a zero budget drains what is already queued:
+                    # an open-loop driver running behind schedule polls
+                    # with budget 0 every iteration, and skipping the
+                    # read entirely would never complete anything.
+                    try:
+                        message = self._out_queue.get_nowait()
+                    except queue_module.Empty:
+                        self._check_servers()
+                        return None
+                    if isinstance(message, ServerFailure):
+                        raise_failure(message)
+                    return message
+                states = ", ".join(
+                    f"shard {i}: {describe_exit(p) if p.exitcode is not None else 'alive'}"
+                    for i, p in enumerate(self._servers)
+                )
+                raise RuntimeError(
+                    f"live cluster timed out after {self.request_timeout:g}s "
+                    f"waiting for shard replies [{states}]"
+                )
+            try:
+                message = self._out_queue.get(timeout=min(1.0, remaining))
+            except queue_module.Empty:
+                self._check_servers()
+                if self._inbox:
+                    return self._inbox.popleft()
+                continue
+            if isinstance(message, ServerFailure):
+                raise_failure(message)
+            return message
+
+    # ------------------------------------------------------------------
+    # Ingest rounds
+    # ------------------------------------------------------------------
+    def _bootstrap(self) -> None:
+        """Ship an already-materialised graph to the servers, in rounds.
+
+        Edge rows go out in sorted-key chunks of :data:`BOOTSTRAP_CHUNK`:
+        shard adjacency is insort-maintained, so the final stores are
+        independent of the delivery order, and chunking bounds the size of
+        any single queue message.
+        """
+        vertex_rows = self.index.take_new_vertices()
+        edge_pairs = [unpack_edge(key) for key in sorted(self.index._edges)]
+        self._send_round(vertex_rows, edge_pairs[:BOOTSTRAP_CHUNK], ())
+        for start in range(BOOTSTRAP_CHUNK, len(edge_pairs), BOOTSTRAP_CHUNK):
+            self._send_round([], edge_pairs[start : start + BOOTSTRAP_CHUNK], ())
+
+    def ingest(self, events: Iterable[EdgeEvent]) -> int:
+        """Stream a batch through the partitioner and out to the shards.
+
+        The driver-side admission logic is the engine's `ingest` verbatim
+        (same partitioner call, same growth bookkeeping, same pending
+        semantics); the delta then ships as one barriered EdgeUpdate round.
+        Returns the number of edges that became visible this round.
+        """
+        if self.partitioner is None:
+            raise ValueError("cluster has no partitioner attached; cannot ingest")
+        batch = list(events)
+        self.partitioner.ingest_batch(batch)
+        label_counts = self._label_counts
+        for event in batch:
+            for v, label in ((event.u, event.u_label), (event.v, event.v_label)):
+                if not self.graph.has_vertex(v):
+                    label_counts[label] = label_counts.get(label, 0) + 1
+            self.graph.add_edge(event.u, event.v, event.u_label, event.v_label)
+        new_edges = []
+        for event in batch:
+            pair = self.index.ingest_edge(event)
+            if pair is not None:
+                new_edges.append(pair)
+        new_edges.extend(self.index.flush_pending())
+        dropped = self._compile_plans() if new_edges else ()
+        self._send_round(self.index.take_new_vertices(), new_edges, dropped)
+        return len(new_edges)
+
+    def finalize(self) -> int:
+        """Drain the partitioner (Loom's window) and flush pending edges."""
+        if self.partitioner is not None:
+            self.partitioner.finalize()
+        new_edges = self.index.flush_pending()
+        dropped = self._compile_plans() if new_edges else ()
+        self._send_round(self.index.take_new_vertices(), new_edges, dropped)
+        return len(new_edges)
+
+    def _send_round(
+        self,
+        vertex_rows: List[Tuple[int, int, int]],
+        edge_pairs: List[Tuple[int, int]],
+        drop_queries: Tuple[str, ...],
+    ) -> None:
+        """One barriered EdgeUpdate round + its invalidation waves."""
+        n = self.num_shards
+        self._seq += 1
+        per_shard_vertices: List[List[Tuple[int, int, int]]] = [[] for _ in range(n)]
+        per_shard_edges: List[List[Tuple[int, int, int, int, int, int]]] = [[] for _ in range(n)]
+        label_of = self.index.label_id_of
+        part_of = self.state.partition_of_id
+        for row in vertex_rows:
+            per_shard_vertices[shard_of_partition(row[2], n)].append(row)
+        for uid, vid in edge_pairs:
+            up, vp = part_of(uid), part_of(vid)
+            row = (uid, label_of(uid), up, vid, label_of(vid), vp)
+            su, sv = shard_of_partition(up, n), shard_of_partition(vp, n)
+            per_shard_edges[su].append(row)
+            if sv != su:
+                per_shard_edges[sv].append(row)
+        for shard in range(n):
+            update = EdgeUpdate(
+                self._seq,
+                tuple(per_shard_vertices[shard]),
+                tuple(per_shard_edges[shard]),
+                drop_queries,
+            )
+            self._put(self._ingest_queues, shard, update)
+        self._barrier(set(range(n)))
+
+    def _barrier(self, expected: set) -> None:
+        """Collect one IngestAck per contacted shard; relay invalidation
+        forwards as waves until the frontier is dry.  Step replies arriving
+        mid-barrier (free-running serve traffic) are buffered, not lost."""
+        deadline = time.monotonic() + self.request_timeout
+        stash: List[object] = []
+        while True:
+            forwards: List[Tuple[int, int, int]] = []
+            waiting = set(expected)
+            while waiting:
+                message = self._next_message(deadline)
+                if isinstance(message, IngestAck):
+                    if message.seq != self._seq:  # pragma: no cover - barrier invariant
+                        raise RuntimeError(f"ack for seq {message.seq} during round {self._seq}")
+                    waiting.discard(message.shard_id)
+                    forwards.extend(message.forwards)
+                else:
+                    stash.append(message)
+            if not forwards:
+                break
+            # Route each settled ghost to its owner, best (smallest) distance
+            # per vertex, in sorted order — the wave stays bit-stable.
+            best: Dict[int, Tuple[int, int]] = {}
+            for vid, dist, partition in forwards:
+                if vid not in best or dist < best[vid][0]:
+                    best[vid] = (dist, partition)
+            per_shard: Dict[int, List[Tuple[int, int]]] = {}
+            for vid in sorted(best):
+                dist, partition = best[vid]
+                per_shard.setdefault(shard_of_partition(partition, self.num_shards), []).append(
+                    (vid, dist)
+                )
+            expected = set(per_shard)
+            for shard in sorted(per_shard):
+                wave = InvalidationHops(self._seq, tuple(per_shard[shard]))
+                self._put(self._ingest_queues, shard, wave)
+        self._inbox.extend(stash)
+
+    # ------------------------------------------------------------------
+    # Serving pipeline
+    # ------------------------------------------------------------------
+    def submit(self, query_name: str, root: int) -> int:
+        """Dispatch one ``(query, root)`` request; returns its request id.
+
+        Up to the caller's chosen in-flight depth may be outstanding; pair
+        with :meth:`poll_completed` / :meth:`wait`.
+        """
+        plan = self._plan(query_name).compiled
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        partition = self.state.partition_of_id(root) if root >= 0 else UNASSIGNED
+        request = _PendingRequest(request_id, query_name, root, plan)
+        if partition == UNASSIGNED or root not in self.index._label_of:
+            # Unplaced root: nothing is stored anywhere — answer driver-side.
+            request.result = RootResult(query_name, root, (), 0, 0)
+            request.root_received = True
+            self._results[request_id] = request.result
+            self._completed.append(request_id)
+            self.requests_completed += 1
+            return request_id
+        self._pending[request_id] = request
+        message = QueryRequest(request_id, plan, root, partition)
+        self._put(self._request_queues, shard_of_partition(partition, self.num_shards), message)
+        return request_id
+
+    def poll_completed(
+        self, timeout: Optional[float] = None
+    ) -> List[Tuple[int, RootResult, Optional[bool]]]:
+        """Process replies until at least one request completes (or the
+        optional wait budget runs out); drain every finished request as
+        ``(request_id, result, cached)`` triples.
+
+        With an explicit ``timeout`` the deadline is *soft*: returning an
+        empty list is how "nothing finished yet" reads (the open-loop
+        traffic driver's pacing path); without one the cluster-wide
+        request timeout applies and expiry raises."""
+        soft = timeout is not None
+        deadline = time.monotonic() + (timeout if soft else self.request_timeout)
+        while not self._completed and self._pending:
+            message = self._next_message(deadline, soft=soft)
+            if message is None:
+                break
+            self._process_reply(message)
+        finished: List[Tuple[int, RootResult, Optional[bool]]] = []
+        while self._completed:
+            request_id = self._completed.popleft()
+            finished.append(
+                (
+                    request_id,
+                    self._results.pop(request_id),
+                    self._cached_flags.pop(request_id, None),
+                )
+            )
+        return finished
+
+    def wait(self, request_id: int) -> RootResult:
+        """Block until ``request_id`` completes; returns its result.  The
+        request's cache flag lands in :attr:`last_cached`."""
+        deadline = time.monotonic() + self.request_timeout
+        while request_id not in self._results:
+            if request_id not in self._pending and request_id not in self._results:
+                raise KeyError(f"unknown or already-collected request {request_id}")
+            self._process_reply(self._next_message(deadline))
+        self._completed.remove(request_id)
+        self.last_cached = self._cached_flags.pop(request_id, None)
+        return self._results.pop(request_id)
+
+    def serve_root(self, query_name: str, root: int) -> RootResult:
+        """Synchronous one-request convenience (in-flight depth 1)."""
+        return self.wait(self.submit(query_name, root))
+
+    def _process_reply(self, message) -> None:
+        if not isinstance(message, StepReply):
+            raise RuntimeError(f"unexpected message while serving: {message!r}")
+        request = self._pending.get(message.request_id)
+        if request is None:  # pragma: no cover - protocol invariant
+            raise RuntimeError(f"reply for unknown request {message.request_id}")
+        request.seqs.add(message.seq)
+        if message.step_id == 0:
+            request.root_received = True
+            request.cached = message.cached
+            if message.result is not None:  # shard-cache hit: complete result
+                self._finish(request, message.result, cache_put=False)
+                return
+            container: List[object] = list(message.segments)
+            request.root_segments = container
+        else:
+            container = list(message.segments)
+            request.steps[message.step_id] = container
+            request.outstanding -= 1
+        for i, segment in enumerate(container):
+            if isinstance(segment, Continuation):
+                step_id = request.dispatched_steps + 1
+                request.dispatched_steps += 1
+                container[i] = _Hole(step_id)
+                request.outstanding += 1
+                step = StepRequest(request.request_id, step_id, request.plan, segment)
+                self.hop_messages_sent += 1
+                self._put(
+                    self._request_queues,
+                    shard_of_partition(segment.target_partition, self.num_shards),
+                    step,
+                )
+        if request.root_received and request.outstanding == 0:
+            embeddings, hops, border = self._fold(request, request.root_segments)
+            result = RootResult(request.query, request.root, tuple(embeddings), hops, border)
+            self._finish(request, result, cache_put=request.dispatched_steps > 0)
+
+    def _fold(self, request: _PendingRequest, container: List[object]):
+        embeddings: List[Tuple[int, ...]] = []
+        hops = 0
+        border = 0
+        for segment in container:
+            if isinstance(segment, LiteralSegment):
+                embeddings.extend(segment.embeddings)
+                hops += segment.hops
+                border += segment.border_expansions
+            else:  # a _Hole for a resolved child step
+                sub_embeddings, sub_hops, sub_border = self._fold(
+                    request, request.steps[segment.step_id]
+                )
+                embeddings.extend(sub_embeddings)
+                hops += sub_hops
+                border += sub_border
+        return embeddings, hops, border
+
+    def _finish(self, request: _PendingRequest, result: RootResult, cache_put: bool) -> None:
+        del self._pending[request.request_id]
+        self._results[request.request_id] = result
+        self._cached_flags[request.request_id] = request.cached
+        self._completed.append(request.request_id)
+        self.requests_completed += 1
+        if cache_put and self.cache_enabled and len(request.seqs) == 1:
+            # Multi-shard result: write it back to the root owner, epoch-
+            # guarded by the one sequence number every step observed.
+            put = CachePut(
+                request.query,
+                request.plan.signature,
+                request.root,
+                result,
+                next(iter(request.seqs)),
+            )
+            partition = self.state.partition_of_id(request.root)
+            self._put(
+                self._request_queues,
+                shard_of_partition(partition, self.num_shards),
+                put,
+            )
+
+    # ------------------------------------------------------------------
+    # Whole-workload execution (the equivalence surface)
+    # ------------------------------------------------------------------
+    def execute_query(self, query_name: str) -> QueryServeReport:
+        """Full enumeration of one query — route, scan roots, serve each.
+
+        Mirrors :meth:`ServingEngine.execute_query`: same router over the
+        same candidate counts, same root order, so hops and embeddings are
+        comparable entry by entry."""
+        plan = self._plan(query_name)
+        partitions = self.router.route(self.index, plan.label_ids[0])
+        embeddings = traversals = hops = border = roots = 0
+        hits = misses = 0
+        num_edges = plan.pattern.num_edges
+        for partition in partitions:
+            for root in self.index.candidates(partition, plan.label_ids[0]):
+                request_id = self.submit(query_name, root)
+                result = self.wait(request_id)
+                cached = self.last_cached
+                if cached is True:
+                    hits += 1
+                elif cached is False:
+                    misses += 1
+                roots += 1
+                embeddings += result.num_embeddings
+                traversals += result.num_embeddings * num_edges
+                hops += result.hops
+                border += result.border_expansions
+        return QueryServeReport(
+            name=plan.name,
+            frequency=plan.frequency,
+            embeddings=embeddings,
+            traversals=traversals,
+            hops=hops,
+            border_expansions=border,
+            partitions_contacted=len(partitions),
+            roots_scanned=roots,
+            cache_hits=hits,
+            cache_misses=misses,
+        )
+
+    def execute_workload(self, system: str = "") -> ServeReport:
+        """Serve every workload query in full — the executor-equivalent pass."""
+        start = time.perf_counter()
+        report = ServeReport(system=system)
+        for name in self._queries:
+            report.queries.append(self.execute_query(name))
+        report.seconds = time.perf_counter() - start
+        return report
+
+    # ------------------------------------------------------------------
+    # Stats / shutdown
+    # ------------------------------------------------------------------
+    def shard_stats(self) -> List[ServerStats]:
+        """One ServerStats snapshot per shard (barriers on the replies)."""
+        for shard in range(self.num_shards):
+            probe = StatsRequest(shard)
+            self._put(self._request_queues, shard, probe)
+        deadline = time.monotonic() + self.request_timeout
+        collected: Dict[int, ServerStats] = {}
+        stash: List[object] = []
+        while len(collected) < self.num_shards:
+            message = self._next_message(deadline)
+            if isinstance(message, ServerStats):
+                collected[message.shard_id] = message
+            else:
+                stash.append(message)
+        self._inbox.extend(stash)
+        return [collected[shard] for shard in range(self.num_shards)]
+
+    def stats(self) -> Dict[str, object]:
+        """Cluster-wide counters: per-shard snapshots + driver-side truth."""
+        shards = self.shard_stats()
+        queue_depths = []
+        for shard in range(self.num_shards):
+            try:
+                depth = self._ingest_queues[shard].qsize() + self._request_queues[shard].qsize()
+            except NotImplementedError:  # pragma: no cover - macOS qsize
+                depth = -1
+            queue_depths.append(depth)
+        return {
+            "num_shards": self.num_shards,
+            "seq": self._seq,
+            "requests_completed": self.requests_completed,
+            "hop_messages_sent": self.hop_messages_sent,
+            "queue_depths": queue_depths,
+            "index": {
+                "vertices": self.index.num_vertices,
+                "edges": self.index.num_edges,
+                "border_edges": self.index.num_border_edges,
+                "pending": self.index.num_pending,
+            },
+            "shards": [s.as_dict() for s in shards],
+        }
+
+    def close(self) -> None:
+        """Shut every server down; terminate stragglers after a grace join."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in range(self.num_shards):
+            for queues in (self._ingest_queues, self._request_queues):
+                try:
+                    queues[shard].put_nowait(END_OF_STREAM)
+                except queue_module.Full:
+                    pass
+        for process in self._servers:
+            process.join(timeout=2.0)
+        for process in self._servers:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=10.0)
+
+    def __enter__(self) -> "LiveCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LiveCluster shards={self.num_shards} k={self.state.k} "
+            f"seq={self._seq} pending={len(self._pending)}>"
+        )

@@ -38,22 +38,38 @@ from repro.serving.router import (
     create_router,
     register_router,
 )
-from repro.serving.stores import PartitionStore, ServingStores
-from repro.serving.traffic import TrafficDriver, TrafficReport
+from repro.serving.stores import (
+    PartitionStore,
+    RoutingIndex,
+    ServingStores,
+    ShardStores,
+)
+from repro.serving.traffic import (
+    LiveTrafficDriver,
+    LiveTrafficReport,
+    TrafficDriver,
+    TrafficReport,
+    sample_requests,
+)
 
 __all__ = [
+    "LiveTrafficDriver",
+    "LiveTrafficReport",
     "PartitionStore",
     "QueryServeReport",
     "ResultCache",
     "RootResult",
     "Router",
+    "RoutingIndex",
     "ServeReport",
     "ServingEngine",
     "ServingStores",
+    "ShardStores",
     "TrafficDriver",
     "TrafficReport",
     "affected_roots",
     "available_routers",
     "create_router",
     "register_router",
+    "sample_requests",
 ]

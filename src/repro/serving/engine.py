@@ -38,6 +38,7 @@ from repro.partitioning.state import PartitionState
 from repro.query.isomorphism import search_plan
 from repro.query.workload import Workload
 from repro.serving.cache import ResultCache, invalidation_sets
+from repro.serving.execution import CompiledPlan, GlobalView, enumerate_root, splice_segments
 from repro.serving.router import Router, create_router
 from repro.serving.stores import ServingStores
 
@@ -112,10 +113,23 @@ class ServeReport:
         return sum(q.partitions_contacted for q in self.queries)
 
 
+def _reject_continuation(continuation):  # pragma: no cover - invariant guard
+    raise RuntimeError(f"global view emitted a continuation: {continuation!r}")
+
+
 class _CompiledQuery:
     """One workload query lowered onto interner ids: slots, anchors, labels."""
 
-    __slots__ = ("name", "frequency", "pattern", "label_ids", "anchors", "depth", "signature")
+    __slots__ = (
+        "name",
+        "frequency",
+        "pattern",
+        "label_ids",
+        "anchors",
+        "depth",
+        "signature",
+        "compiled",
+    )
 
     def __init__(
         self,
@@ -141,6 +155,10 @@ class _CompiledQuery:
         #: Plan identity — graph growth can shift the rarest-label root
         #: slot, which changes what "root" means for cached entries.
         self.signature = tuple(pv for pv, _a in plan)
+        #: The wire-friendly core shared with shard-side execution.
+        self.compiled = CompiledPlan(
+            self.name, self.label_ids, self.anchors, self.depth, self.signature
+        )
 
 
 class ServingEngine:
@@ -259,63 +277,20 @@ class ServingEngine:
         """Enumerate every embedding whose plan-root slot maps to ``root``.
 
         The expansion mirrors ``find_embeddings`` exactly — same plan, same
-        injectivity/label/anchor checks — but runs on the partition stores:
+        injectivity/label/anchor checks — but runs through the shared step
+        executor (:mod:`repro.serving.execution`) on the partition stores:
         candidates come from the owner store's adjacency, and each anchor
-        edge whose endpoints live in different partitions is a hop.
+        edge whose endpoints live in different partitions is a hop.  Under
+        the global view every edge is decidable and every partition owned,
+        so the step never emits a continuation — the same code path a shard
+        server runs, minus the wire.
         """
         stores = self.stores
-        label_of = stores._label_of
-        if label_of.get(root) != plan.label_ids[0]:
+        if stores._label_of.get(root) != plan.label_ids[0]:
             return RootResult(plan.name, root, (), 0, 0)
-        assignment = self.state.assignment_vector
-        has_edge = stores.has_edge
-        neighbors = stores.neighbors
-        label_ids = plan.label_ids
-        anchors = plan.anchors
-        depth_total = len(label_ids)
-        mapping: List[int] = [-1] * depth_total
-        mapping[0] = root
-        used = {root}
-        embeddings: List[Tuple[int, ...]] = []
-        hops_total = 0
-        border_expansions = 0
-
-        def backtrack(depth: int, crossings: int) -> None:
-            nonlocal hops_total, border_expansions
-            if depth == depth_total:
-                embeddings.append(tuple(mapping))
-                hops_total += crossings
-                return
-            want = label_ids[depth]
-            slot_anchors = anchors[depth]
-            first = mapping[slot_anchors[0]]
-            first_partition = assignment[first]
-            for cand in neighbors(first):
-                crossed = assignment[cand] != first_partition
-                if crossed:
-                    # Candidate generation itself followed a border edge —
-                    # speculative cost, charged whether or not it pans out.
-                    border_expansions += 1
-                if cand in used or label_of[cand] != want:
-                    continue
-                ok = True
-                added = 1 if crossed else 0
-                for a in slot_anchors[1:]:
-                    other = mapping[a]
-                    if not has_edge(cand, other):
-                        ok = False
-                        break
-                    if assignment[cand] != assignment[other]:
-                        added += 1
-                if not ok:
-                    continue
-                mapping[depth] = cand
-                used.add(cand)
-                backtrack(depth + 1, crossings + added)
-                used.discard(cand)
-                mapping[depth] = -1
-
-        backtrack(1, 0)
+        view = GlobalView(stores, self.state)
+        segments = enumerate_root(view, plan.compiled, root, self.state.assignment_vector[root])
+        embeddings, hops_total, border_expansions = splice_segments(segments, _reject_continuation)
         return RootResult(plan.name, root, tuple(embeddings), hops_total, border_expansions)
 
     def execute_query(self, query_name: str) -> QueryServeReport:

@@ -305,3 +305,373 @@ class ServingStores:
             f"|E|={self.num_edges} border={self.num_border_edges} "
             f"pending={self.num_pending}>"
         )
+
+
+class _PartitionIndex:
+    """One partition's *membership* view: labels and counts, no adjacency.
+
+    The driver-side routing twin of :class:`PartitionStore` — enough
+    surface (``candidate_count`` / ``candidates`` / ``num_members``) for
+    every :mod:`repro.serving.router` policy and for root-candidate scans,
+    at a fraction of the memory: adjacency lives only on the shard that
+    owns the partition.
+    """
+
+    __slots__ = ("partition", "_by_label", "num_members")
+
+    def __init__(self, partition: int) -> None:
+        self.partition = partition
+        self._by_label: Dict[int, List[int]] = {}
+        self.num_members = 0
+
+    def add_member(self, label_id: int, vid: int, sort: bool = True) -> None:
+        if sort:
+            insort(self._by_label.setdefault(label_id, []), vid)
+        else:
+            self._by_label.setdefault(label_id, []).append(vid)
+        self.num_members += 1
+
+    def candidates(self, label_id: int) -> List[int]:
+        return self._by_label.get(label_id, [])
+
+    def candidate_count(self, label_id: int) -> int:
+        return len(self._by_label.get(label_id, ()))
+
+    def sort_indexes(self) -> None:
+        for values in self._by_label.values():
+            values.sort()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<_PartitionIndex p={self.partition} members={self.num_members}>"
+
+
+class RoutingIndex:
+    """The live driver's adjacency-free twin of :class:`ServingStores`.
+
+    Holds exactly what routing and request admission need — vertex → label
+    id, per-partition label indexes, the visible-edge key set (dedup) and
+    the pending buffer — while the adjacency itself lives sharded across
+    the servers.  Duck-types the :class:`ServingStores` surface the routers
+    and the traffic driver touch (``k``, ``stores``, ``candidate_counts``,
+    ``candidates``, ``all_candidates``), so every routing policy works
+    unchanged against either.
+
+    ``ingest_edge``/``flush_pending`` follow the same admission rule as
+    :class:`ServingStores` (both endpoints placed, duplicates dropped), so
+    a live cluster and a single-process engine fed the same stream admit
+    the identical edge sequence — the bedrock of the equivalence suites.
+    """
+
+    __slots__ = (
+        "state",
+        "labels",
+        "stores",
+        "_label_of",
+        "_edges",
+        "_pending",
+        "_new_vertices",
+        "_sorted",
+        "num_edges",
+        "num_border_edges",
+    )
+
+    def __init__(self, state: PartitionState, labels: Optional[LabelInterner] = None) -> None:
+        self.state = state
+        self.labels = labels if labels is not None else LabelInterner()
+        self._sorted = True
+        self.stores: List[_PartitionIndex] = [_PartitionIndex(p) for p in range(state.k)]
+        self._label_of: Dict[int, int] = {}
+        self._edges: Set[int] = set()
+        self._pending: List[EdgeEvent] = []
+        #: (vid, label_id, partition) rows stored since the last take — the
+        #: driver turns these into EdgeUpdate vertex rows each round.
+        self._new_vertices: List[Tuple[int, int, int]] = []
+        self.num_edges = 0
+        self.num_border_edges = 0
+
+    @classmethod
+    def from_state(cls, graph: LabelledGraph, state: PartitionState) -> "RoutingIndex":
+        """Bulk-build the index for every placed vertex/edge of ``graph``."""
+        index = cls(state)
+        index._sorted = False
+        try:
+            for v in graph.vertices():
+                vid = state.interner.id_of(v)
+                if vid is not None and state.partition_of_id(vid) != UNASSIGNED:
+                    index._add_member(vid, graph.label(v))
+            for u, v in graph.edges():
+                index.ingest_edge(EdgeEvent(u, graph.label(u), v, graph.label(v)))
+        finally:
+            index._sorted = True
+            for store in index.stores:
+                store.sort_indexes()
+        return index
+
+    def _add_member(self, vid: int, label: str) -> None:
+        if vid in self._label_of:
+            return
+        lid = self.labels.intern(label)
+        self._label_of[vid] = lid
+        partition = self.state.partition_of_id(vid)
+        self.stores[partition].add_member(lid, vid, sort=self._sorted)
+        self._new_vertices.append((vid, lid, partition))
+
+    def ingest_edge(self, event: EdgeEvent) -> Optional[Tuple[int, int]]:
+        """Same admission protocol as :meth:`ServingStores.ingest_edge`."""
+        id_of = self.state.interner.id_of
+        uid, vid = id_of(event.u), id_of(event.v)
+        if (
+            uid is None
+            or vid is None
+            or self.state.partition_of_id(uid) == UNASSIGNED
+            or self.state.partition_of_id(vid) == UNASSIGNED
+        ):
+            self._pending.append(event)
+            return None
+        ekey = pack_edge(uid, vid)
+        if ekey in self._edges:
+            return None
+        self._add_member(uid, event.u_label)
+        self._add_member(vid, event.v_label)
+        self._edges.add(ekey)
+        self.num_edges += 1
+        if self.state.partition_of_id(uid) != self.state.partition_of_id(vid):
+            self.num_border_edges += 1
+        return (uid, vid)
+
+    def flush_pending(self) -> List[Tuple[int, int]]:
+        parked, self._pending = self._pending, []
+        visible: List[Tuple[int, int]] = []
+        for event in parked:
+            pair = self.ingest_edge(event)
+            if pair is not None:
+                visible.append(pair)
+        return visible
+
+    def take_new_vertices(self) -> List[Tuple[int, int, int]]:
+        """Drain the ``(vid, label_id, partition)`` rows stored since the
+        last call — one EdgeUpdate round's worth of vertex announcements."""
+        rows, self._new_vertices = self._new_vertices, []
+        return rows
+
+    # -- the routing / admission surface -------------------------------
+    def label_id_of(self, vid: int) -> int:
+        return self._label_of[vid]
+
+    def partition_of(self, vid: int) -> int:
+        return self.state.partition_of_id(vid)
+
+    def candidates(self, partition: int, label_id: int) -> List[int]:
+        return self.stores[partition].candidates(label_id)
+
+    def candidate_counts(self, label_id: int) -> List[int]:
+        return [store.candidate_count(label_id) for store in self.stores]
+
+    def all_candidates(self, label_id: int) -> List[int]:
+        out: List[int] = []
+        for store in self.stores:
+            out.extend(store.candidates(label_id))
+        out.sort()
+        return out
+
+    @property
+    def num_pending(self) -> int:
+        return len(self._pending)
+
+    @property
+    def k(self) -> int:
+        return self.state.k
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._label_of)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RoutingIndex k={self.k} |V|={self.num_vertices} "
+            f"|E|={self.num_edges} pending={self.num_pending}>"
+        )
+
+
+class ShardStores:
+    """One shard server's slice of the serving data: the partitions whose
+    index ``p % num_shards == shard_id``, with full member adjacency plus
+    **ghost metadata** (label and partition) for every remote vertex seen
+    on a border edge.
+
+    Built entirely from EdgeUpdate wire rows — the shard never touches the
+    interner or the graph.  The invariants the distributed executor leans
+    on:
+
+    * a *member*'s adjacency is complete w.r.t. the visible subgraph (the
+      driver sends every visible edge incident to an owned partition), so
+      ``has_edge_local`` answers definitively whenever either endpoint is
+      a member and returns ``None`` only for remote–remote pairs;
+    * every vertex the executor can name (a member's neighbour) has label
+      and partition recorded — ghost metadata arrived on the edge row that
+      made it adjacent;
+    * adjacency lists are insort-maintained, so candidate iteration order
+      matches the single-process :class:`ServingStores` bit for bit.
+    """
+
+    __slots__ = (
+        "shard_id",
+        "num_shards",
+        "k",
+        "_adj",
+        "_label_of",
+        "_partition_of",
+        "_edges",
+        "num_edges",
+        "num_border_edges",
+        "num_ghosts",
+    )
+
+    def __init__(self, shard_id: int, num_shards: int, k: int) -> None:
+        self.shard_id = shard_id
+        self.num_shards = num_shards
+        self.k = k
+        #: member id → sorted ids of all its visible neighbours.
+        self._adj: Dict[int, List[int]] = {}
+        #: vid → label id, members *and* ghosts.
+        self._label_of: Dict[int, int] = {}
+        #: vid → partition, members *and* ghosts.
+        self._partition_of: Dict[int, int] = {}
+        #: packed keys of every edge with at least one member endpoint.
+        self._edges: Set[int] = set()
+        self.num_edges = 0
+        self.num_border_edges = 0
+        self.num_ghosts = 0
+
+    def owns_partition(self, partition: int) -> bool:
+        return partition % self.num_shards == self.shard_id
+
+    def is_member(self, vid: int) -> bool:
+        return vid in self._adj
+
+    def _register(self, vid: int, label_id: int, partition: int) -> None:
+        """Record a vertex's metadata; promote ghost → member if owned."""
+        if vid not in self._label_of:
+            self._label_of[vid] = label_id
+            self._partition_of[vid] = partition
+            if self.owns_partition(partition):
+                self._adj[vid] = []
+            else:
+                self.num_ghosts += 1
+        elif self.owns_partition(partition) and vid not in self._adj:
+            # Announced earlier as a ghost on a border edge, now owned.
+            self._adj[vid] = []
+            self.num_ghosts -= 1
+
+    def add_vertex(self, vid: int, label_id: int, partition: int) -> None:
+        """Apply one EdgeUpdate vertex row (always an owned vertex)."""
+        self._register(vid, label_id, partition)
+
+    def apply_edge(
+        self,
+        uid: int,
+        u_label: int,
+        u_part: int,
+        vid: int,
+        v_label: int,
+        v_part: int,
+    ) -> Optional[Tuple[int, int]]:
+        """Apply one EdgeUpdate edge row; at least one endpoint is owned.
+
+        Returns the ``(uid, vid)`` pair when the edge was new (the cache
+        invalidation seeds for this round), ``None`` on duplicates.
+        """
+        ekey = pack_edge(uid, vid)
+        if ekey in self._edges:
+            return None
+        self._register(uid, u_label, u_part)
+        self._register(vid, v_label, v_part)
+        self._edges.add(ekey)
+        self.num_edges += 1
+        if uid in self._adj:
+            insort(self._adj[uid], vid)
+        if vid in self._adj:
+            insort(self._adj[vid], uid)
+        if u_part != v_part:
+            self.num_border_edges += 1
+        return (uid, vid)
+
+    # -- the executor's view surface ------------------------------------
+    def neighbors(self, vid: int) -> List[int]:
+        """All visible neighbours of member ``vid``, sorted.  Do not mutate."""
+        return self._adj[vid]
+
+    @property
+    def label_of(self) -> Dict[int, int]:
+        return self._label_of
+
+    def partition_of(self, vid: int) -> int:
+        return self._partition_of[vid]
+
+    def has_edge_local(self, uid: int, vid: int) -> Optional[bool]:
+        """Definitive membership test when either endpoint is a member;
+        ``None`` when both are remote (only their owners can decide)."""
+        if uid in self._adj or vid in self._adj:
+            return pack_edge(uid, vid) in self._edges
+        return None
+
+    def bfs_forward(
+        self,
+        seeds: Iterable[Tuple[int, int]],
+        max_depth: int,
+        settled: Optional[Dict[int, int]] = None,
+    ) -> Tuple[Dict[int, int], List[Tuple[int, int]]]:
+        """Dist-bucketed multi-source BFS over *member* adjacency.
+
+        ``seeds`` are ``(vid, dist)`` pairs — new-edge endpoints at 0, or
+        distances forwarded from other shards.  Returns the ``vid → dist``
+        entries settled (or improved) *this wave* plus the forward list:
+        ghosts first reached at ``0 < dist <= max_depth``, whose owning
+        shard must continue the wave.  ``settled`` is the ingest round's
+        accumulated map, threaded through successive waves of the same
+        round so a vertex already covered at an equal-or-smaller distance
+        neither re-expands nor re-forwards — that bound, with distances
+        strictly increasing along forward chains, is what terminates the
+        cross-shard wave.  Seed order is normalised (sorted, min dist per
+        vid) so the settled map is bit-stable.
+        """
+        if settled is None:
+            settled = {}
+        buckets: List[List[int]] = [[] for _ in range(max_depth + 1)]
+        best: Dict[int, int] = {}
+        for vid, d in seeds:
+            if d <= max_depth and (vid not in best or d < best[vid]):
+                best[vid] = d
+        for vid in sorted(best):
+            buckets[best[vid]].append(vid)
+        wave: Dict[int, int] = {}
+        forwards: List[Tuple[int, int]] = []
+        for d in range(max_depth + 1):
+            for vid in buckets[d]:
+                if vid in settled and settled[vid] <= d:
+                    continue
+                settled[vid] = d
+                wave[vid] = d
+                member = vid in self._adj
+                if not member and d > 0:
+                    forwards.append((vid, d))
+                if member and d < max_depth:
+                    bucket = buckets[d + 1]
+                    for w in self._adj[vid]:  # detlint: disable=DET-setiter (sorted list)
+                        if w not in settled or settled[w] > d + 1:
+                            bucket.append(w)
+        return wave, forwards
+
+    @property
+    def num_members(self) -> int:
+        return len(self._adj)
+
+    def owned_partitions(self) -> List[int]:
+        return [p for p in range(self.k) if self.owns_partition(p)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ShardStores shard={self.shard_id}/{self.num_shards} "
+            f"members={self.num_members} ghosts={self.num_ghosts} "
+            f"|E|={self.num_edges}>"
+        )

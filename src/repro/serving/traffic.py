@@ -42,6 +42,41 @@ def percentile(sorted_values: Sequence[float], q: float) -> float:
     return sorted_values[min(rank, len(sorted_values)) - 1]
 
 
+def sample_requests(source, n: int, seed: int, zipf_s: float) -> List[Tuple[str, int]]:
+    """A deterministic list of ``n`` ``(query name, root id)`` requests.
+
+    ``source`` is anything exposing ``workload`` and
+    ``root_candidates(name)`` — a :class:`~repro.serving.engine.ServingEngine`
+    or a :class:`~repro.runtime.live.LiveCluster`; both enumerate the same
+    global candidate lists, so the same seed yields the identical stream
+    against either.  Queries are drawn by workload frequency; per query,
+    roots by Zipf weight ``1/(rank+1)^s`` over the sorted candidate list.
+    Queries with no root candidates in the stores are excluded (nothing to
+    serve), with their weight renormalised over the rest.
+    """
+    rng = random.Random(seed)
+    names: List[str] = []
+    weights: List[float] = []
+    roots_of: Dict[str, List[int]] = {}
+    root_weights: Dict[str, List[float]] = {}
+    for entry in source.workload:
+        name = entry.pattern.name
+        candidates = source.root_candidates(name)
+        if not candidates:
+            continue
+        names.append(name)
+        weights.append(entry.frequency)
+        roots_of[name] = candidates
+        root_weights[name] = [(rank + 1) ** -zipf_s for rank in range(len(candidates))]
+    if not names:
+        raise ValueError("no workload query has root candidates in the stores")
+    picked = rng.choices(names, weights=weights, k=n)
+    return [
+        (name, rng.choices(roots_of[name], weights=root_weights[name], k=1)[0])
+        for name in picked
+    ]
+
+
 @dataclass
 class TrafficReport:
     """Outcome of one closed-loop run."""
@@ -121,32 +156,9 @@ class TrafficDriver:
     def sample(self, n: int) -> List[Tuple[str, int]]:
         """A deterministic list of ``n`` ``(query name, root id)`` requests.
 
-        Queries are drawn by workload frequency; per query, roots by Zipf
-        weight ``1/(rank+1)^s`` over the sorted candidate list.  Queries
-        with no root candidates in the stores are excluded (nothing to
-        serve), with their weight renormalised over the rest.
+        Delegates to :func:`sample_requests` over the engine.
         """
-        rng = random.Random(self.seed)
-        names: List[str] = []
-        weights: List[float] = []
-        roots_of: Dict[str, List[int]] = {}
-        root_weights: Dict[str, List[float]] = {}
-        for entry in self.engine.workload:
-            name = entry.pattern.name
-            candidates = self.engine.root_candidates(name)
-            if not candidates:
-                continue
-            names.append(name)
-            weights.append(entry.frequency)
-            roots_of[name] = candidates
-            root_weights[name] = [(rank + 1) ** -self.zipf_s for rank in range(len(candidates))]
-        if not names:
-            raise ValueError("no workload query has root candidates in the stores")
-        picked = rng.choices(names, weights=weights, k=n)
-        return [
-            (name, rng.choices(roots_of[name], weights=root_weights[name], k=1)[0])
-            for name in picked
-        ]
+        return sample_requests(self.engine, n, self.seed, self.zipf_s)
 
     # ------------------------------------------------------------------
     def run(
@@ -205,3 +217,216 @@ class TrafficDriver:
             zipf_s=self.zipf_s,
             hop_cost_us=self.hop_cost_us,
         )
+
+
+@dataclass
+class LiveTrafficReport:
+    """Outcome of one concurrent run against a :class:`LiveCluster`.
+
+    Unlike :class:`TrafficReport` there is no modelled hop cost: every
+    cross-partition hop was an actual inter-process message, already paid
+    inside each request's measured latency.  Throughput is requests over
+    *wall* time — with ``inflight > 1`` requests overlap, so summed
+    latencies would overcount.
+    """
+
+    system: str
+    mode: str  # "closed" or "open"
+    num_shards: int
+    inflight: int
+    rate: Optional[float]  # open-loop arrival rate (req/s); None when closed
+    requests: int
+    wall_seconds: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    embeddings: int
+    hops: int
+    hop_messages: int
+    cache_hits: int
+    cache_misses: int
+    router: str
+    zipf_s: float
+
+    @property
+    def requests_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.requests / self.wall_seconds
+
+    @property
+    def hops_per_request(self) -> float:
+        return self.hops / self.requests if self.requests else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "system": self.system,
+            "mode": self.mode,
+            "num_shards": self.num_shards,
+            "inflight": self.inflight,
+            "rate": self.rate,
+            "requests": self.requests,
+            "queries_per_sec": round(self.requests_per_sec, 1),
+            "p50_ms": round(self.p50_ms, 4),
+            "p95_ms": round(self.p95_ms, 4),
+            "p99_ms": round(self.p99_ms, 4),
+            "hops_per_query": round(self.hops_per_request, 4),
+            "hops": self.hops,
+            "hop_messages": self.hop_messages,
+            "embeddings": self.embeddings,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "wall_seconds": round(self.wall_seconds, 4),
+            "router": self.router,
+            "zipf_s": self.zipf_s,
+        }
+
+
+class LiveTrafficDriver:
+    """Concurrent traffic against a live cluster — real processes, real hops.
+
+    Two modes share one measurement path:
+
+    * **closed loop** (default): keep up to ``inflight`` requests
+      outstanding; a completion immediately admits the next request.
+      Throughput is what the cluster *can* do at that concurrency.
+    * **open loop** (``rate`` set): request *i* is due at ``i / rate``
+      seconds after start, submitted when due regardless of completions
+      (still capped at ``inflight`` outstanding to bound queue growth).
+      Latency is measured from the request's **scheduled arrival**, so a
+      cluster that falls behind shows the queueing delay instead of hiding
+      it (no coordinated omission).
+
+    Latencies are wall-clock driver-side: submit (or scheduled arrival)
+    to completed-result splice, which includes every queue wait and hop
+    message the request incurred.  Sampling is the deterministic
+    :func:`sample_requests` stream, so runs at different shard counts
+    serve the identical request sequence.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        seed: int = 0,
+        zipf_s: float = 0.0,
+    ) -> None:
+        if zipf_s < 0:
+            raise ValueError("zipf_s must be non-negative")
+        self.cluster = cluster
+        self.seed = seed
+        self.zipf_s = zipf_s
+
+    # ------------------------------------------------------------------
+    def sample(self, n: int) -> List[Tuple[str, int]]:
+        """The deterministic request stream (see :func:`sample_requests`)."""
+        return sample_requests(self.cluster, n, self.seed, self.zipf_s)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        num_requests: int,
+        requests: Optional[Sequence[Tuple[str, int]]] = None,
+        system: str = "",
+        inflight: int = 8,
+        rate: Optional[float] = None,
+        collect_results: bool = False,
+    ) -> LiveTrafficReport:
+        """Issue the stream at concurrency ``inflight``; returns the report.
+
+        ``rate`` switches to open-loop arrivals at that many requests per
+        second.  ``collect_results=True`` additionally stores each
+        request's :class:`~repro.serving.engine.RootResult` on the report
+        as ``report.results`` (stream order) — the benchmark uses it to
+        assert bit-identical answers across shard counts.
+        """
+        if inflight < 1:
+            raise ValueError("inflight must be at least 1")
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive")
+        if requests is None:
+            requests = self.sample(num_requests)
+        cluster = self.cluster
+        perf_counter = time.perf_counter
+        total = len(requests)
+        latencies: List[float] = []
+        results: List[object] = [None] * total if collect_results else []
+        embeddings = hops = hits = misses = 0
+        hop_messages0 = cluster.hop_messages_sent
+        #: request id → (stream index, latency clock start)
+        started: Dict[int, Tuple[int, float]] = {}
+        submitted = completed = 0
+        wall_start = perf_counter()
+        while completed < total:
+            now = perf_counter()
+            # Admit every request that is due and fits the in-flight cap.
+            while submitted < total and submitted - completed < inflight:
+                if rate is not None:
+                    due = wall_start + submitted / rate
+                    if now < due:
+                        break
+                    clock_start = due  # latency from scheduled arrival
+                else:
+                    clock_start = now
+                name, root = requests[submitted]
+                request_id = cluster.submit(name, root)
+                started[request_id] = (submitted, clock_start)
+                submitted += 1
+                now = perf_counter()
+            if rate is not None and submitted < total:
+                if submitted - completed >= inflight:
+                    # The cap, not the schedule, gates the next submit:
+                    # wait for a completion instead of spinning on an
+                    # already-due arrival with a zero budget.
+                    budget = 0.05
+                else:
+                    budget = max(0.0, wall_start + submitted / rate - now)
+                finished = cluster.poll_completed(timeout=min(budget, 0.05))
+            else:
+                finished = cluster.poll_completed()
+            end = perf_counter()
+            for request_id, result, cached in finished:
+                index, clock_start = started.pop(request_id)
+                latencies.append(end - clock_start)
+                if collect_results:
+                    results[index] = result
+                embeddings += result.num_embeddings
+                hops += result.hops
+                if cached is True:
+                    hits += 1
+                elif cached is False:
+                    misses += 1
+                completed += 1
+            if rate is not None and submitted == completed and submitted < total:
+                # Nothing outstanding and the next arrival is in the future:
+                # sleep toward it instead of spinning on the clock.
+                pause = wall_start + submitted / rate - perf_counter()
+                if pause > 0:
+                    time.sleep(min(pause, 0.05))
+        wall = perf_counter() - wall_start
+        latencies.sort()
+        report = LiveTrafficReport(
+            system=system,
+            mode="open" if rate is not None else "closed",
+            num_shards=cluster.num_shards,
+            inflight=inflight,
+            rate=rate,
+            requests=total,
+            wall_seconds=wall,
+            p50_ms=percentile(latencies, 0.50) * 1e3,
+            p95_ms=percentile(latencies, 0.95) * 1e3,
+            p99_ms=percentile(latencies, 0.99) * 1e3,
+            embeddings=embeddings,
+            hops=hops,
+            hop_messages=cluster.hop_messages_sent - hop_messages0,
+            cache_hits=hits,
+            cache_misses=misses,
+            router=cluster.router.name,
+            zipf_s=self.zipf_s,
+        )
+        if collect_results:
+            report.results = results  # type: ignore[attr-defined]
+        return report

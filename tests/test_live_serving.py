@@ -1,0 +1,421 @@
+"""The live cluster's correctness anchor.
+
+:class:`~repro.runtime.live.LiveCluster` re-executes the serving engine's
+partition-local DFS across real processes — so its contract is *bit
+equality* with the single-process engine, which itself bit-matches the
+offline executor's ``cut_traversals``.  This file pins that chain for
+every partitioner, every router and several shard counts, on quiesced
+and interleaved (ingest-while-serving) streams, plus the failure surface:
+a killed or crashing server must become a diagnosable exception, never a
+hang.
+"""
+
+import os
+import pickle
+import signal
+import time
+
+import pytest
+
+from helpers import make_random_labelled_graph
+
+from repro.graph.labelled_graph import LabelledGraph
+from repro.graph.stream import batched, stream_edges
+from repro.partitioning import registry
+from repro.partitioning.registry import BUILTIN_SYSTEMS
+from repro.partitioning.state import PartitionState
+from repro.query.executor import WorkloadExecutor
+from repro.query.pattern import cycle_pattern, path_pattern
+from repro.query.workload import Workload
+from repro.runtime.live import LiveCluster
+from repro.runtime.liveness import ShardProcessError
+from repro.runtime.messages import (
+    SCHEMA_VERSION,
+    CachePut,
+    EdgeUpdate,
+    IngestAck,
+    InvalidationHops,
+    QueryRequest,
+    ServeSpec,
+    ServerFailure,
+    ServerStats,
+    StatsRequest,
+    StepReply,
+    StepRequest,
+    WIRE_TYPES,
+    check_schema,
+)
+from repro.serving import ServingEngine
+from repro.serving.router import BUILTIN_ROUTERS
+from repro.serving.stores import RoutingIndex, ServingStores
+from repro.serving.traffic import LiveTrafficDriver, TrafficDriver
+
+
+def _random_case():
+    graph = make_random_labelled_graph(60, 130, seed=11)
+    workload = Workload(
+        [
+            (path_pattern(["a", "b", "c"], name="abc"), 0.5),
+            (cycle_pattern(["a", "b", "a", "b"], name="abab"), 0.3),
+            (path_pattern(["c", "b"], name="cb"), 0.2),
+        ],
+        name="random",
+    )
+    return graph, workload
+
+
+def _partition(system, graph, workload, k, seed=0):
+    state = PartitionState.for_graph(k, graph.num_vertices)
+    partitioner = registry.create(
+        system,
+        state,
+        graph=graph,
+        workload=workload,
+        window_size=max(8, graph.num_edges // 4),
+        seed=seed,
+    )
+    partitioner.ingest_all(stream_edges(graph, "bfs", seed=seed))
+    return state
+
+
+def _report_rows(report):
+    """A ServeReport's queries as comparable tuples (drops wall time)."""
+    return [
+        (
+            q.name,
+            q.frequency,
+            q.embeddings,
+            q.traversals,
+            q.hops,
+            q.border_expansions,
+            q.partitions_contacted,
+            q.roots_scanned,
+            q.cache_hits,
+            q.cache_misses,
+        )
+        for q in report.queries
+    ]
+
+
+# ----------------------------------------------------------------------
+# Quiesced equivalence: cluster == engine == executor, bit for bit
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("system", BUILTIN_SYSTEMS)
+def test_quiesced_cluster_matches_engine_and_executor(system):
+    """For every partitioner: routed multi-process serving returns the
+    engine's exact report, whose hops are the executor's cut_traversals."""
+    graph, workload = _random_case()
+    state = _partition(system, graph, workload, k=4)
+    offline = WorkloadExecutor(graph, workload, embedding_limit=None).execute(state, system)
+    engine = ServingEngine(graph, state, workload, cache=True)
+    served = engine.execute_workload(system)
+    with LiveCluster(graph, state, workload, num_shards=2, cache=True) as cluster:
+        live = cluster.execute_workload(system)
+    assert _report_rows(live) == _report_rows(served)
+    offline_by_name = {q.name: q for q in offline.queries}
+    for query in live.queries:
+        assert query.hops == offline_by_name[query.name].cut_traversals
+
+
+@pytest.mark.parametrize("router", BUILTIN_ROUTERS)
+def test_quiesced_every_router(router):
+    """Routing changes dispatch order, never answers — live included."""
+    graph, workload = _random_case()
+    state = _partition("ldg", graph, workload, k=4)
+    engine = ServingEngine(graph, state, workload, router=router, cache=True)
+    served = engine.execute_workload("ldg")
+    with LiveCluster(
+        graph, state, workload, num_shards=2, router=router, cache=True
+    ) as cluster:
+        live = cluster.execute_workload("ldg")
+    assert _report_rows(live) == _report_rows(served)
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 4])
+def test_quiesced_shard_count_invariance(num_shards):
+    """Answers, hops and cache stats are independent of the shard count."""
+    graph, workload = _random_case()
+    state = _partition("loom", graph, workload, k=4)
+    engine = ServingEngine(graph, state, workload, cache=True)
+    served = engine.execute_workload("loom")
+    with LiveCluster(graph, state, workload, num_shards=num_shards, cache=True) as cluster:
+        live = cluster.execute_workload("loom")
+        stats = cluster.stats()
+    assert _report_rows(live) == _report_rows(served)
+    if num_shards == 1:
+        assert stats["hop_messages_sent"] == 0  # one shard owns everything
+    # Summed shard cache stats must equal the engine's cache counters.
+    totals = {"hits": 0, "misses": 0, "entries": 0}
+    for shard in stats["shards"]:
+        for key in totals:
+            totals[key] += shard["cache_stats"][key]
+    assert totals["hits"] == engine.cache.hits
+    assert totals["misses"] == engine.cache.misses
+
+
+# ----------------------------------------------------------------------
+# Interleaved ingest/serve: lock-step rounds keep bit equality
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cache", [True, False])
+@pytest.mark.parametrize("num_shards", [1, 2, 4])
+def test_interleaved_ingest_serve_matches_engine(num_shards, cache):
+    """Serve bursts between ingest rounds: every answer, hop count and
+    cache flag equals the single-process engine's, cache on or off."""
+    graph, workload = _random_case()
+    events = list(stream_edges(graph, "random", seed=3))
+
+    def engine_transcript():
+        state = PartitionState.for_graph(4, graph.num_vertices)
+        partitioner = registry.create(
+            "loom", state, graph=graph, workload=workload, window_size=30, seed=0
+        )
+        live_graph = LabelledGraph("live")
+        engine = ServingEngine(
+            live_graph, state, workload, partitioner=partitioner, cache=cache
+        )
+        transcript = []
+        for chunk in batched(events, 37):
+            engine.ingest(chunk)
+            _serve_burst(engine, transcript)
+        engine.finalize()
+        _serve_burst(engine, transcript)
+        cache_stats = engine.cache.stats() if engine.cache is not None else None
+        return transcript, cache_stats
+
+    def cluster_transcript():
+        state = PartitionState.for_graph(4, graph.num_vertices)
+        partitioner = registry.create(
+            "loom", state, graph=graph, workload=workload, window_size=30, seed=0
+        )
+        live_graph = LabelledGraph("live")
+        transcript = []
+        with LiveCluster(
+            live_graph,
+            state,
+            workload,
+            num_shards=num_shards,
+            cache=cache,
+            partitioner=partitioner,
+        ) as cluster:
+            for chunk in batched(events, 37):
+                cluster.ingest(chunk)
+                _serve_burst(cluster, transcript)
+            cluster.finalize()
+            _serve_burst(cluster, transcript)
+            cache_totals = None
+            if cache:
+                cache_totals = {"hits": 0, "misses": 0, "entries": 0, "invalidations": 0}
+                for shard in cluster.shard_stats():
+                    for key in cache_totals:
+                        cache_totals[key] += shard.cache_stats[key]
+        return transcript, cache_totals
+
+    expected, engine_cache = engine_transcript()
+    actual, cluster_cache = cluster_transcript()
+    assert actual == expected
+    if cache:
+        assert cluster_cache == {
+            key: engine_cache[key]
+            for key in ("hits", "misses", "entries", "invalidations")
+        }
+
+
+def _serve_burst(server, transcript):
+    """Serve every (query, candidate root) once; append comparable rows.
+
+    Works against an engine or a cluster — both expose ``query_names`` /
+    ``root_candidates`` / ``serve_root``.
+    """
+    for name in server.query_names():
+        for root in server.root_candidates(name):
+            result = server.serve_root(name, root)
+            transcript.append(
+                (name, root, result.embeddings, result.hops, result.border_expansions)
+            )
+
+
+# ----------------------------------------------------------------------
+# Concurrent traffic: overlap changes timing, never answers
+# ----------------------------------------------------------------------
+def test_live_traffic_answers_invariant_across_shards_and_inflight():
+    graph, workload = _random_case()
+    golden = None
+    for num_shards, inflight in ((1, 1), (2, 8), (4, 4)):
+        state = _partition("loom", graph, workload, k=4)
+        with LiveCluster(graph, state, workload, num_shards=num_shards) as cluster:
+            driver = LiveTrafficDriver(cluster, seed=3, zipf_s=0.8)
+            report = driver.run(
+                150, system="loom", inflight=inflight, collect_results=True
+            )
+        rows = [(r.query, r.root, r.embeddings, r.hops) for r in report.results]
+        assert report.requests == 150 and len(rows) == 150
+        if golden is None:
+            golden = rows
+        else:
+            assert rows == golden
+
+
+def test_live_sample_stream_matches_engine_sample_stream():
+    """Same seed → the identical (query, root) stream from either surface."""
+    graph, workload = _random_case()
+    state = _partition("ldg", graph, workload, k=4)
+    engine = ServingEngine(graph, state, workload)
+    engine_stream = TrafficDriver(engine, seed=5, zipf_s=1.1).sample(200)
+    with LiveCluster(graph, state, workload, num_shards=2) as cluster:
+        live_stream = LiveTrafficDriver(cluster, seed=5, zipf_s=1.1).sample(200)
+    assert live_stream == engine_stream
+
+
+def test_live_traffic_open_loop_measures_from_scheduled_arrival():
+    graph, workload = _random_case()
+    state = _partition("hash", graph, workload, k=4)
+    with LiveCluster(graph, state, workload, num_shards=2) as cluster:
+        driver = LiveTrafficDriver(cluster, seed=1)
+        report = driver.run(60, system="hash", inflight=4, rate=2000.0)
+    assert report.mode == "open"
+    assert report.rate == 2000.0
+    assert report.requests == 60
+    # 60 arrivals at 2000/s are spread over 30ms of scheduled time.
+    assert report.wall_seconds >= 60 / 2000.0 * 0.5
+
+
+def test_live_traffic_open_loop_terminates_when_behind_schedule():
+    """An arrival rate the cluster can't keep up with must still drain.
+
+    Once the loop falls behind, every next arrival is already due, so the
+    poll budget is 0 on every iteration — a zero-budget poll that never
+    reads the reply queue would spin forever at the in-flight cap
+    (regression: the soft deadline in ``_next_message`` short-circuited
+    before attempting a read).
+    """
+    graph, workload = _random_case()
+    state = _partition("hash", graph, workload, k=4)
+    start = time.monotonic()
+    with LiveCluster(graph, state, workload, num_shards=2) as cluster:
+        driver = LiveTrafficDriver(cluster, seed=7)
+        report = driver.run(80, system="hash", inflight=2, rate=1e9)
+    assert report.requests == 80
+    assert time.monotonic() - start < 60
+
+
+def test_unplaced_root_short_circuits():
+    """A root the partitioner never placed is answered driver-side, empty."""
+    graph, workload = _random_case()
+    state = _partition("ldg", graph, workload, k=4)
+    with LiveCluster(graph, state, workload, num_shards=2) as cluster:
+        result = cluster.serve_root("abc", 10**9)
+        assert result.embeddings == () and result.hops == 0
+
+
+# ----------------------------------------------------------------------
+# Failure surface: death and poison become diagnosable errors
+# ----------------------------------------------------------------------
+def test_killed_server_raises_with_signal_name_quickly():
+    graph, workload = _random_case()
+    state = _partition("ldg", graph, workload, k=4)
+    with LiveCluster(graph, state, workload, num_shards=2) as cluster:
+        driver = LiveTrafficDriver(cluster, seed=2)
+        requests = driver.sample(200)
+        victim = cluster._servers[0]
+        os.kill(victim.pid, signal.SIGKILL)
+        start = time.monotonic()
+        with pytest.raises(ShardProcessError) as excinfo:
+            for name, root in requests:
+                cluster.serve_root(name, root)
+        elapsed = time.monotonic() - start
+    assert elapsed < 30.0, "dead server must surface fast, not via timeout"
+    assert excinfo.value.shard_id == 0
+    assert "SIGKILL" in str(excinfo.value)
+    assert excinfo.value.remote_traceback is None  # died without reporting
+
+
+def test_poison_message_surfaces_remote_traceback():
+    graph, workload = _random_case()
+    state = _partition("ldg", graph, workload, k=4)
+    with LiveCluster(graph, state, workload, num_shards=2) as cluster:
+        cluster._request_queues[0].put("not a wire message")
+        with pytest.raises(ShardProcessError) as excinfo:
+            # Keep serving until the failure envelope comes back.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                for name in cluster.query_names():
+                    for root in cluster.root_candidates(name):
+                        cluster.serve_root(name, root)
+    assert excinfo.value.shard_id == 0
+    assert excinfo.value.remote_traceback is not None
+    assert "Traceback" in excinfo.value.remote_traceback
+
+
+# ----------------------------------------------------------------------
+# Wire discipline: slots, tuple encodings, schema version
+# ----------------------------------------------------------------------
+_WIRE_SAMPLES = [
+    ServeSpec(shard_id=1, num_shards=4, k=8, query_depths=(("abc", 2),)),
+    EdgeUpdate(3, ((5, 0, 1),), ((5, 0, 1, 6, 1, 2),), ("abc",)),
+    InvalidationHops(3, ((7, 1), (9, 2))),
+    IngestAck(1, 3, 2, ((7, 1, 0),)),
+    QueryRequest(11, None, 5, 1),
+    StepRequest(11, 2, None, None),
+    StepReply(11, 2, 1, 3, (), cached=False, result=None),
+    CachePut("abc", (0, 1, 2), 5, None, 3),
+    StatsRequest(1),
+    ServerStats(1, 3, 10, 2, 20, 4, 7, 3, 3, 5, {"hits": 1}),
+]
+
+
+@pytest.mark.parametrize(
+    "message", _WIRE_SAMPLES, ids=[type(m).__name__ for m in _WIRE_SAMPLES]
+)
+def test_wire_messages_pickle_roundtrip_without_dict(message):
+    assert not hasattr(message, "__dict__"), "wire types must be __slots__-only"
+    clone = pickle.loads(pickle.dumps(message))
+    for slot in type(message).__slots__:
+        assert getattr(clone, slot) == getattr(message, slot)
+    check_schema(clone)  # current-version messages pass
+
+
+def test_every_wire_type_declares_slots_and_schema_version():
+    for cls in WIRE_TYPES:
+        assert hasattr(cls, "__slots__"), cls.__name__
+        assert getattr(cls, "schema_version", None) == SCHEMA_VERSION, cls.__name__
+        assert "__reduce__" in cls.__dict__, cls.__name__
+
+
+def test_schema_mismatch_is_rejected():
+    class Future:
+        schema_version = SCHEMA_VERSION + 1
+
+    with pytest.raises(RuntimeError, match="schema mismatch"):
+        check_schema(Future())
+    check_schema(ServerFailure(0, "boom", "tb"))  # same version passes
+
+
+def test_detlint_mp_pickle_scope_covers_live_modules():
+    """The MP-pickle rule must patrol every module that touches a queue."""
+    from repro.analysis.engine import rule_applies
+
+    for path in (
+        "src/repro/runtime/server.py",
+        "src/repro/runtime/live.py",
+        "src/repro/runtime/messages.py",
+        "src/repro/runtime/driver.py",
+    ):
+        assert rule_applies("MP-pickle", path), path
+
+
+# ----------------------------------------------------------------------
+# RoutingIndex: the driver's adjacency-free twin of ServingStores
+# ----------------------------------------------------------------------
+def test_routing_index_agrees_with_serving_stores():
+    graph, workload = _random_case()
+    state = _partition("fennel", graph, workload, k=4)
+    stores = ServingStores.from_state(graph, state)
+    index = RoutingIndex.from_state(graph, state)
+    assert index.num_vertices == stores.num_vertices
+    assert index.num_edges == stores.num_edges
+    assert index.num_border_edges == stores.num_border_edges
+    for label_id in range(len(graph.label_set())):
+        assert index.all_candidates(label_id) == stores.all_candidates(label_id)
+        assert index.candidate_counts(label_id) == stores.candidate_counts(label_id)
+        for p in range(state.k):
+            assert index.candidates(p, label_id) == stores.candidates(p, label_id)

@@ -318,6 +318,52 @@ class TestRunSharded:
             else:
                 assert result.state.assignment() == baseline
 
+    def test_killed_worker_surfaces_exit_signal(self):
+        """A worker that dies *without* reporting (SIGKILL — the OOM-killer
+        shape) must surface as an error naming the signal, within the
+        liveness poll interval rather than the full result timeout."""
+        import multiprocessing as mp_module
+        import os
+        import signal
+        import threading
+        import time
+
+        events = list(synthetic_stream(200, 2000, seed=0))
+
+        def killer():
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                victims = [
+                    p
+                    for p in mp_module.active_children()
+                    if p.name.startswith("loom-shard-")
+                ]
+                if victims:
+                    try:
+                        os.kill(victims[0].pid, signal.SIGKILL)
+                    except ProcessLookupError:  # pragma: no cover - lost race
+                        pass
+                    return
+                time.sleep(0.005)
+
+        thread = threading.Thread(target=killer)
+        thread.start()
+        start = time.monotonic()
+        try:
+            with pytest.raises(RuntimeError, match="SIGKILL"):
+                run_sharded(
+                    events,
+                    system="ldg",
+                    num_shards=2,
+                    k=4,
+                    expected_vertices=200,
+                    expected_edges=2000,
+                    result_timeout=120.0,
+                )
+        finally:
+            thread.join()
+        assert time.monotonic() - start < 60.0
+
     def test_worker_failure_surfaces(self):
         events = list(synthetic_stream(20, 40, seed=0))
         with pytest.raises((RuntimeError, ValueError)):

@@ -91,6 +91,75 @@ def test_interleaved_ingest_serve_identical_with_and_without_cache(system):
     assert transcripts[True] == transcripts[False]
 
 
+@pytest.mark.parametrize("cached", [True, False])
+def test_interleaved_live_cluster_matches_engine(cached):
+    """The live cluster's shard-local caches obey the same contract: the
+    interleaved transcript is bit-identical to the single-process engine's,
+    cache on or off — the distributed invalidation wave never misses a root
+    and never fires spuriously (summed shard stats equal the engine's)."""
+    from repro.runtime.live import LiveCluster
+
+    full = make_random_labelled_graph(50, 110, seed=5)
+    workload = _workload()
+    events = list(stream_edges(full, "random", seed=1))
+
+    def run(make_server):
+        state = PartitionState.for_graph(4, full.num_vertices)
+        partitioner = registry.create(
+            "loom", state, graph=full, workload=workload, window_size=20, seed=0
+        )
+        server, cleanup = make_server(state, partitioner)
+        try:
+            transcript = []
+            for chunk in batched(events, 23):
+                server.ingest(chunk)
+                transcript.append(_serve_everything(server))
+                transcript.append(_serve_everything(server))  # hit round
+            server.finalize()
+            transcript.append(_serve_everything(server))
+            totals = None
+            if cached:
+                totals = {"hits": 0, "misses": 0, "invalidations": 0}
+                if hasattr(server, "shard_stats"):  # a cluster: sum the shards
+                    for shard in server.shard_stats():
+                        for key in totals:
+                            totals[key] += shard.cache_stats[key]
+                else:
+                    cache = server.cache
+                    totals = {
+                        "hits": cache.hits,
+                        "misses": cache.misses,
+                        "invalidations": cache.invalidations,
+                    }
+            return transcript, totals
+        finally:
+            cleanup()
+
+    def make_engine(state, partitioner):
+        engine = ServingEngine(
+            LabelledGraph("live"), state, workload, cache=cached, partitioner=partitioner
+        )
+        return engine, lambda: None
+
+    def make_cluster(state, partitioner):
+        cluster = LiveCluster(
+            LabelledGraph("live"),
+            state,
+            workload,
+            num_shards=2,
+            cache=cached,
+            partitioner=partitioner,
+        )
+        return cluster, cluster.close
+
+    engine_transcript, engine_totals = run(make_engine)
+    cluster_transcript, cluster_totals = run(make_cluster)
+    assert cluster_transcript == engine_transcript
+    if cached:
+        assert cluster_totals == engine_totals
+        assert cluster_totals["hits"] > 0 and cluster_totals["invalidations"] > 0
+
+
 def _fresh_engine_for(workload, placement, k=2):
     state = PartitionState.for_graph(k, 8)
     partitioner = _ScriptedPartitioner(state, placement)

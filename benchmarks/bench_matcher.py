@@ -41,7 +41,9 @@ SRC = Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-from bench_util import bench_workload, load_baseline
+from bench_util import bench_workload, load_baseline, require_baseline
+
+from repro.experiment.registry import namespace_from_parser, trial
 
 from repro.core.matching import StreamMatcher
 from repro.core.motifs import MotifIndex
@@ -142,7 +144,7 @@ def comparable(baseline, args) -> bool:
     return True
 
 
-def main(argv=None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--edges", type=int, default=DEFAULT_EDGES)
     parser.add_argument("--vertices", type=int, default=DEFAULT_VERTICES)
@@ -156,11 +158,18 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default=str(Path(__file__).resolve().parent.parent / "BENCH_matcher.json"))
     parser.add_argument("--baseline", default=None,
                         help="previous results file (default: the --out path)")
-    args = parser.parse_args(argv)
+    return parser
 
+
+def run(args, baseline=None) -> dict:
+    """Time both execution paths over one stream; the results tree.
+
+    Raises :class:`AssertionError` when the scalar and columnar core
+    counters diverge — batch/scalar equivalence is a hard invariant of
+    this benchmark, whichever entry point (script or trial) drove it.
+    """
     events = list(synthetic_stream(args.vertices, args.edges, seed=args.seed))
     index = MotifIndex(TPSTry.from_workload(bench_workload()), 0.4)
-    baseline = load_baseline(args.baseline if args.baseline is not None else args.out)
 
     paths = {}
     matchers = {}
@@ -170,10 +179,10 @@ def main(argv=None) -> int:
     scalar_core = matchers["scalar"].stats.core_counters()
     columnar_core = matchers["columnar"].stats.core_counters()
     if scalar_core != columnar_core:
-        print("ERROR: scalar/columnar core counters diverged:", file=sys.stderr)
-        print(f"  scalar:   {scalar_core}", file=sys.stderr)
-        print(f"  columnar: {columnar_core}", file=sys.stderr)
-        return 1
+        raise AssertionError(
+            "scalar/columnar core counters diverged: "
+            f"scalar={scalar_core} columnar={columnar_core}"
+        )
 
     # The columnar path is the production default (Loom's ingest), so it is
     # the headline and the number the regression gate tracks.
@@ -199,6 +208,24 @@ def main(argv=None) -> int:
             f"(median {p['median_edges_per_sec']:,.0f}, spread {p['spread_pct']:.1f}%)"
         )
     print(f"matcher: {eps:>12,.0f} edges/s ({args.edges:,} edges{note})")
+    return results
+
+
+@trial("matcher")
+def matcher_trial(ctx):
+    """Experiment-service adapter; see ``bench_throughput.throughput_trial``."""
+    args = namespace_from_parser(build_parser(), ctx.params, seed=ctx.seed)
+    return run(args, require_baseline(args.baseline))
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    baseline = load_baseline(args.baseline if args.baseline is not None else args.out)
+    try:
+        results = run(args, baseline)
+    except AssertionError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
 
     payload = {
         "benchmark": "matcher-only offer/extend/evict loop (no placement)",

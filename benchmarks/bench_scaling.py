@@ -44,7 +44,9 @@ SRC = Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-from bench_util import bench_workload, load_baseline
+from bench_util import bench_workload, load_baseline, require_baseline
+
+from repro.experiment.registry import namespace_from_parser, trial
 
 from repro.graph.stream import synthetic_stream
 from repro.runtime import run_sharded
@@ -150,7 +152,7 @@ def run(args, baseline=None) -> dict:
     return results
 
 
-def main(argv=None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--edges", type=int, default=DEFAULT_EDGES)
     parser.add_argument("--vertices", type=int, default=DEFAULT_VERTICES)
@@ -167,7 +169,22 @@ def main(argv=None) -> int:
     parser.add_argument("--baseline", default=None,
                         help="previous results file to compare against "
                              "(default: the --out path before overwriting)")
-    args = parser.parse_args(argv)
+    return parser
+
+
+@trial("scaling")
+def scaling_trial(ctx):
+    """Experiment-service adapter; see ``bench_throughput.throughput_trial``.
+
+    The worker process this runs in spawns the shard workers itself —
+    the runner's processes are deliberately non-daemonic to allow it.
+    """
+    args = namespace_from_parser(build_parser(), ctx.params, seed=ctx.seed)
+    return run(args, require_baseline(args.baseline))
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
 
     baseline = load_baseline(args.baseline if args.baseline is not None else args.out)
     results = run(args, baseline)

@@ -48,7 +48,9 @@ SRC = Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-from bench_util import bench_workload, load_baseline
+from bench_util import bench_workload, load_baseline, require_baseline
+
+from repro.experiment.registry import namespace_from_parser, trial
 
 from repro.graph.stream import stream_to_graph, synthetic_stream
 from repro.partitioning import registry
@@ -291,7 +293,7 @@ def run_scaling(args, baseline=None) -> dict:
     return rows
 
 
-def main(argv=None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--vertices", type=int, default=DEFAULT_VERTICES)
     parser.add_argument("--edges", type=int, default=DEFAULT_EDGES)
@@ -368,7 +370,28 @@ def main(argv=None) -> int:
         default=None,
         help="previous results file to compare against (default: --out before overwriting)",
     )
-    args = parser.parse_args(argv)
+    return parser
+
+
+@trial("serving")
+def serving_trial(ctx):
+    """Experiment-service adapter; see ``bench_throughput.throughput_trial``.
+
+    Scaling mode (live shard-server clusters) obeys the same ``scaling``
+    flag as the script — set ``scaling = false`` in the spec params to
+    skip the multi-process curve.
+    """
+    args = namespace_from_parser(build_parser(), ctx.params, seed=ctx.seed)
+    baseline = require_baseline(args.baseline)
+    results = run(args, baseline)
+    if args.scaling:
+        print("-- live scaling curve --")
+        results["scaling"] = run_scaling(args, baseline)
+    return results
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
 
     baseline = load_baseline(args.baseline if args.baseline is not None else args.out)
     results = run(args, baseline)

@@ -48,7 +48,9 @@ SRC = Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-from bench_util import bench_workload, load_baseline
+from bench_util import bench_workload, load_baseline, require_baseline
+
+from repro.experiment.registry import namespace_from_parser, trial
 
 from repro.graph.stream import synthetic_stream
 from repro.partitioning import registry
@@ -217,7 +219,7 @@ def run(args, baseline=None) -> dict:
     return results
 
 
-def main(argv=None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--edges", type=int, default=DEFAULT_EDGES)
     parser.add_argument("--vertices", type=int, default=DEFAULT_VERTICES)
@@ -234,7 +236,23 @@ def main(argv=None) -> int:
     parser.add_argument("--baseline", default=None,
                         help="previous results file to compare against "
                              "(default: the --out path before overwriting)")
-    args = parser.parse_args(argv)
+    return parser
+
+
+@trial("throughput")
+def throughput_trial(ctx):
+    """The experiment-service adapter: params → args → one ``run()``.
+
+    Unlike the script, the trial never writes a payload file — the runner
+    persists whatever this returns to the results DB — and a ``baseline``
+    param that names a missing file fails the trial by name.
+    """
+    args = namespace_from_parser(build_parser(), ctx.params, seed=ctx.seed)
+    return run(args, require_baseline(args.baseline))
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
 
     if args.edges < 100_000:
         print(f"note: --edges {args.edges} is below the 100k-edge acceptance floor",

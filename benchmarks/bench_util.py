@@ -41,3 +41,20 @@ def load_baseline(path):
             return json.load(f)
     except (OSError, ValueError):
         return None
+
+
+def require_baseline(path):
+    """A baseline named by an experiment spec — missing is an *error*.
+
+    The standalone scripts tolerate an absent baseline (first run on a
+    scratch machine); a spec that names one expects its gains to gate, so
+    a vanished or unreadable file must fail the trial with the missing
+    path spelled out, not silently skip gating (or surface later as a
+    bare KeyError in the gate).
+    """
+    if path is None:
+        return None
+    baseline = load_baseline(path)
+    if baseline is None:
+        raise FileNotFoundError(f"baseline file missing or unreadable: {path}")
+    return baseline

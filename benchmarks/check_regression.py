@@ -16,6 +16,13 @@ rather than edges/s).  A file whose rows carry no ``gain_vs_baseline`` at all â€
 reduced-scale smoke run against an incomparable baseline â€” passes with a
 note, unless ``--strict`` says that silence itself is a failure.
 
+The newer ``--db`` mode reads a ``results.db`` written by
+``repro.experiment run`` instead of JSON files, and applies each trial's
+own gate (threshold / strictness) from the spec stored in the DB::
+
+    python benchmarks/check_regression.py --db results.db
+    python benchmarks/check_regression.py --db results.db --spec experiments/ci-baseline.toml
+
 Usage::
 
     python benchmarks/check_regression.py /tmp/bench.json
@@ -25,6 +32,7 @@ Usage::
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Dict, List
 
 
@@ -44,11 +52,46 @@ def collect_gated_rows(node, path="") -> List[Dict]:
 
 def check_file(path: str, threshold: float) -> "tuple[List[Dict], List[Dict]]":
     """Returns ``(all_rows, failing_rows)`` for one bench JSON."""
+    if not Path(path).exists():
+        # A deleted/renamed committed baseline should read as exactly that,
+        # not as a generic open() error two frames deep.
+        raise FileNotFoundError(f"committed baseline file missing: {path}")
     with open(path, "r", encoding="utf-8") as f:
         payload = json.load(f)
+    if not isinstance(payload, dict):
+        raise ValueError(f"bench payload must be a JSON object, got {type(payload).__name__}")
     rows = collect_gated_rows(payload.get("results", {}))
+    missing = [
+        r["label"] for r in rows if not isinstance(r["row"]["gain_vs_baseline"], (int, float))
+    ]
+    if missing:
+        raise KeyError(f"row(s) missing a numeric gain_vs_baseline: {', '.join(missing)}")
     failures = [r for r in rows if r["row"]["gain_vs_baseline"] < threshold]
     return rows, failures
+
+
+def check_db(db_path: str, spec_path=None, experiment_name=None) -> int:
+    """Gate the latest run recorded in a ``repro.experiment`` results DB.
+
+    Thresholds and strictness come from the per-trial gate config in the
+    spec (the one stored in the DB, unless ``--spec`` overrides it).  A
+    trial whose baseline file went missing shows up here as a failed row
+    whose traceback names the file â€” never as a KeyError.
+    """
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.experiment.db import ResultsDB
+    from repro.experiment.gate import gate_experiment, load_spec_for_gate
+
+    if not Path(db_path).exists():
+        print(f"{db_path}: results DB missing â€” run an experiment spec first", file=sys.stderr)
+        return 1
+    with ResultsDB(db_path) as db:
+        try:
+            spec = load_spec_for_gate(db, spec_path, experiment_name)
+        except (ValueError, OSError) as exc:
+            print(f"{db_path}: {exc}", file=sys.stderr)
+            return 1
+        return gate_experiment(db, spec)
 
 
 def render_table(path: str, rows: List[Dict], threshold: float) -> str:
@@ -83,7 +126,19 @@ def render_table(path: str, rows: List[Dict], threshold: float) -> str:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("files", nargs="+", help="bench JSON payloads to gate on")
+    parser.add_argument("files", nargs="*", help="bench JSON payloads to gate on")
+    parser.add_argument(
+        "--db",
+        help="gate a repro.experiment results DB instead of JSON payloads",
+    )
+    parser.add_argument(
+        "--spec",
+        help="with --db: spec file overriding the DB's stored gate config",
+    )
+    parser.add_argument(
+        "--experiment",
+        help="with --db: experiment name to gate (default: latest in the DB)",
+    )
     parser.add_argument(
         "--threshold",
         type=float,
@@ -98,10 +153,22 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.db:
+        return check_db(args.db, spec_path=args.spec, experiment_name=args.experiment)
+    if args.spec or args.experiment:
+        parser.error("--spec/--experiment only apply in --db mode")
+    if not args.files:
+        parser.error("pass bench JSON files, or --db results.db")
+
     exit_code = 0
     for path in args.files:
         try:
             rows, failures = check_file(path, args.threshold)
+        except KeyError as exc:
+            # str(KeyError) wraps its message in quotes; unwrap for readability.
+            print(f"{path}: {exc.args[0]}", file=sys.stderr)
+            exit_code = 1
+            continue
         except (OSError, ValueError) as exc:
             print(f"{path}: unreadable bench payload ({exc})", file=sys.stderr)
             exit_code = 1

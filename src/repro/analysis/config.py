@@ -62,6 +62,10 @@ ORDERING_SENSITIVE_MODULES: Tuple[str, ...] = (
     "src/repro/partitioning/*",
     "src/repro/runtime/*",
     "src/repro/serving/*",
+    # The experiment service: matrix expansion order and trial ids must be
+    # identical on every machine (resume keys on them), so set iteration
+    # may not leak into anything it emits.
+    "src/repro/experiment/*",
 )
 
 #: Float-accumulation paths: Loom's auction (support-weighted utilities,
@@ -109,6 +113,10 @@ TIME_EXEMPT: Tuple[str, ...] = (
     "src/repro/bench/*",
     "benchmarks/*",
     "src/repro/serving/traffic.py",
+    # The experiment runner stamps DB rows (created_at) and times trials;
+    # wall clocks never reach a result metric.  It stays under DET-random:
+    # per-trial seeds are derived from the spec via SHA-256, never rolled.
+    "src/repro/experiment/*",
 )
 
 #: Method names known to return live sets in this codebase (the graph's

@@ -141,3 +141,66 @@ class TestCommittedBaselines:
         path = REPO / name
         assert path.exists(), f"{name} must stay committed (CI gates on it)"
         assert check_regression.main([str(path)]) == 0
+
+
+class TestMissingBaselines:
+    """A missing committed baseline file/row must exit nonzero with a
+    message naming the missing thing — never an unhandled traceback."""
+
+    def test_missing_file_named(self, tmp_path, capsys):
+        missing = str(tmp_path / "BENCH_gone.json")
+        assert check_regression.main([missing]) == 1
+        err = capsys.readouterr().err
+        assert "BENCH_gone.json" in err and "missing" in err
+
+    def test_row_without_numeric_gain_named(self, tmp_path, capsys):
+        path = _write(tmp_path, "partial.json", {"loom": {"gain_vs_baseline": None}})
+        assert check_regression.main([path]) == 1
+        err = capsys.readouterr().err
+        assert "loom" in err and "gain_vs_baseline" in err
+
+    def test_non_object_payload_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        assert check_regression.main([str(path)]) == 1
+
+
+class TestDBMode:
+    """`check_regression --db results.db` delegates to the experiment gate."""
+
+    def _replay(self, db_path, gain):
+        sys.path.insert(0, str(REPO / "src"))
+        from repro.experiment.db import ResultsDB
+        from repro.experiment.spec import ExperimentSpec
+
+        spec = ExperimentSpec.from_mapping(
+            {
+                "experiment": {"name": "db-mode"},
+                "trial": [{"bench": "synthetic", "id": "t", "gate": {"strict": True}}],
+            }
+        )
+        with ResultsDB(db_path) as db:
+            exp = db.ensure_experiment(spec.name, spec.spec_hash, spec.to_json())
+            db.record_trial(
+                exp,
+                trial_id="t",
+                bench="synthetic",
+                params={},
+                seed=0,
+                status="ok",
+                duration_seconds=0.0,
+                metrics={"gain_vs_baseline": gain, "edges_per_sec": 100.0},
+            )
+
+    def test_db_gate_passes_and_fails(self, tmp_path):
+        good = str(tmp_path / "good.db")
+        self._replay(good, gain=1.0)
+        assert check_regression.main(["--db", good]) == 0
+        bad = str(tmp_path / "bad.db")
+        self._replay(bad, gain=0.2)
+        assert check_regression.main(["--db", bad]) == 1
+
+    def test_missing_db_named(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.db")
+        assert check_regression.main(["--db", missing]) == 1
+        assert "nope.db" in capsys.readouterr().err

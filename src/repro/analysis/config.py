@@ -66,6 +66,11 @@ ORDERING_SENSITIVE_MODULES: Tuple[str, ...] = (
     # identical on every machine (resume keys on them), so set iteration
     # may not leak into anything it emits.
     "src/repro/experiment/*",
+    # The observability layer: snapshots, trace exports and stats lines
+    # are compared byte-for-byte by the double-run suite
+    # (tests/test_obs_determinism.py), so every emitted ordering must be
+    # sorted or insertion-stable — hash order may not leak into them.
+    "src/repro/obs/*",
 )
 
 #: Float-accumulation paths: Loom's auction (support-weighted utilities,
@@ -107,8 +112,12 @@ RANDOM_EXEMPT: Tuple[str, ...] = (
 
 #: The only places allowed to read clocks that feed results: benchmarks
 #: (that is the point) and the closed-loop traffic driver (simulated
-#: latency).  Monotonic timers (time.perf_counter / time.monotonic) are
-#: exempt everywhere — they measure, they never decide placements.
+#: latency).  Monotonic timers (time.perf_counter / time.monotonic /
+#: time.monotonic_ns) are exempt everywhere — they measure, they never
+#: decide placements.  repro.obs leans on exactly that carve-out: trace
+#: timestamps and latency observations are monotonic-only, which is what
+#: keeps traces comparable modulo their ``ts`` field — the package needs
+#: no entry in this tuple and must not gain one.
 TIME_EXEMPT: Tuple[str, ...] = (
     "src/repro/bench/*",
     "benchmarks/*",

@@ -58,6 +58,20 @@ class SystemRun:
             return 0.0
         return (self.seconds / self.edges) * 10_000 * 1_000.0
 
+    def stats_lines(self) -> list:
+        """Matcher counters as ``"system.matcher.key: value"`` lines.
+
+        Rendered through :func:`repro.obs.format.render_lines` — the same
+        dotted-name formatter behind ``partition_cli --stats`` and the
+        live cluster's stats dump, so every surface prints counters
+        identically (grep once, match everywhere).
+        """
+        from repro.obs.format import render_lines
+
+        if not self.matcher_stats:
+            return []
+        return render_lines(self.matcher_stats, prefix=f"{self.system}.matcher")
+
     @property
     def edges_per_second(self) -> float:
         return self.edges / self.seconds if self.seconds else float("inf")

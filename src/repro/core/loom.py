@@ -33,6 +33,7 @@ from repro.core.motifs import MotifIndex
 from repro.core.signature import DEFAULT_PRIME, SignatureScheme
 from repro.core.tpstry import TPSTry
 from repro.core.window import LabelConflictError
+from repro import obs
 from repro.graph.labelled_graph import Vertex
 from repro.graph.stream import EdgeEvent, batched
 from repro.partitioning.base import StreamingPartitioner
@@ -126,6 +127,19 @@ class LoomPartitioner(StreamingPartitioner):
             "fallback_allocations": 0,
             "cluster_edges_assigned": 0,
         }
+        # Observability (repro.obs): NULL stubs unless obs.enable() ran
+        # before construction, so the disabled path is a dead attribute
+        # call per *batch* — never per edge.  Per-edge counts are not
+        # duplicated into the registry; the existing stats dicts join the
+        # snapshot through collectors, read only at snapshot() time.
+        self._obs_on = obs.enabled()
+        self._obs_batches = obs.counter("loom.ingest.batches")
+        self._obs_events = obs.counter("loom.ingest.events")
+        self._obs_window_fill = obs.gauge("loom.window.high_water")
+        self._trace = obs.tracer()
+        self._trace_on = self._trace.enabled
+        obs.register_collector("loom.matcher", self.matcher.stats.as_dict)
+        obs.register_collector("loom.partitioner", lambda: dict(self.stats))
 
     # ------------------------------------------------------------------
     # Streaming protocol
@@ -180,8 +194,25 @@ class LoomPartitioner(StreamingPartitioner):
         ``tests/test_runtime.py`` pin both equivalences).
         """
         if self.columnar:
-            return self._ingest_batch_columnar(events)
-        return self._ingest_batch_scalar(events)
+            count = self._ingest_batch_columnar(events)
+        else:
+            count = self._ingest_batch_scalar(events)
+        # Batch-granular telemetry: dead calls on the NULL stubs when
+        # disabled; deterministic fields (counts, not clocks) when on.
+        self._obs_batches.inc()
+        self._obs_events.inc(count)
+        if self._obs_on:
+            self._obs_window_fill.high_water(len(self._window_events))
+        if self._trace_on:
+            windowed = len(self._window_events)
+            self._trace.event(
+                "ingest.batch",
+                n=count,
+                windowed=windowed,
+                ingested=self.edges_ingested,
+                evictions=self.stats["evictions"],
+            )
+        return count
 
     def _ingest_batch_scalar(self, events) -> int:
         """The pre-columnar batch loop: :meth:`ingest` semantics, hot
@@ -342,7 +373,8 @@ class LoomPartitioner(StreamingPartitioner):
 
     def _evict_once(self) -> None:
         eviction = self.matcher.next_eviction()
-        self.stats["evictions"] += 1
+        evictions = self.stats["evictions"] + 1
+        self.stats["evictions"] = evictions
         if eviction.matches:
             decision = self.allocator.allocate(
                 eviction.matches, fallback_chooser=self._ldg_cluster_choice
@@ -350,6 +382,17 @@ class LoomPartitioner(StreamingPartitioner):
             if decision.fallback:
                 self.stats["fallback_allocations"] += 1
             self.stats["cluster_edges_assigned"] += len(decision.assigned_edges)
+            # Evictions are per-edge-overflow frequent, so the trace is
+            # deterministically sampled (every 256th, counted not timed)
+            # to hold the enabled-path cost inside the ≤2% budget.
+            if self._trace_on and evictions & 255 == 1:
+                self._trace.event(
+                    "loom.evict",
+                    n=evictions,
+                    matches=len(eviction.matches),
+                    assigned=len(decision.assigned_edges),
+                    fallback=decision.fallback,
+                )
             self.matcher.remove_cluster(decision.assigned_edges)
         else:
             # Defensive: a window edge always has at least its single-edge

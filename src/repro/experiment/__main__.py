@@ -1,11 +1,16 @@
-"""CLI: ``python -m repro.experiment {run,report,gate,ls}``.
+"""CLI: ``python -m repro.experiment {run,report,gate,ls,trend}``.
 
-The four verbs CI (and anyone reproducing a figure) needs::
+The verbs CI (and anyone reproducing a figure) needs::
 
     python -m repro.experiment run --spec experiments/ci-smoke.toml --db results.db
     python -m repro.experiment gate --db results.db
     python -m repro.experiment report --db results.db --html report.html
     python -m repro.experiment ls --db results.db
+    python -m repro.experiment trend edges_per_sec --db results.db
+
+``trend`` reads **all** historical rows per trial id (not just the
+latest, like every other verb) and renders each trajectory as a
+sparkline — the benchmark-drift view over the append-only history.
 
 ``run`` is resumable (completed trials are skipped) and exits nonzero
 when any trial failed, *after* running everything — fault isolation means
@@ -64,6 +69,45 @@ def _cmd_report(args) -> int:
             print(f"written: {args.html}")
         if args.markdown is None and args.html is None:
             print(markdown, end="")
+    return 0
+
+
+def _cmd_trend(args) -> int:
+    from repro.bench.charts import sparkline
+    from repro.obs.format import render_table
+
+    with ResultsDB(args.db) as db:
+        trial_ids = (
+            [args.trial]
+            if args.trial
+            else db.trial_ids_with_metric(args.metric, experiment=args.experiment)
+        )
+        rows = []
+        for trial_id in trial_ids:
+            history = db.metric_history(
+                trial_id, args.metric, experiment=args.experiment
+            )
+            if not history:
+                continue
+            values = [value for _, value in history]
+            first, last = values[0], values[-1]
+            rows.append(
+                {
+                    "trial": trial_id,
+                    "runs": len(values),
+                    "first": round(first, 3),
+                    "last": round(last, 3),
+                    "delta %": round(100.0 * (last - first) / first, 1) if first else "-",
+                    "trend": sparkline(values, width=args.width),
+                }
+            )
+        if not rows:
+            print(f"trend: no numeric history for metric {args.metric!r}", file=sys.stderr)
+            return 1
+        for line in render_table(
+            rows, ("trial", "runs", "first", "last", "delta %", "trend")
+        ):
+            print(line)
     return 0
 
 
@@ -126,6 +170,16 @@ def main(argv=None) -> int:
     ls_p.add_argument("--db", default="results.db")
     ls_p.add_argument("--trials", action="store_true", help="list per-trial rows too")
     ls_p.set_defaults(fn=_cmd_ls)
+
+    trend_p = sub.add_parser(
+        "trend", help="one metric's full history per trial, as sparklines"
+    )
+    trend_p.add_argument("metric", help="flat metric name, e.g. edges_per_sec")
+    trend_p.add_argument("--db", default="results.db")
+    trend_p.add_argument("--experiment", default=None, help="restrict to one experiment name")
+    trend_p.add_argument("--trial", default=None, help="restrict to one trial id")
+    trend_p.add_argument("--width", type=int, default=40, help="sparkline width (points kept)")
+    trend_p.set_defaults(fn=_cmd_trend)
 
     args = parser.parse_args(argv)
     try:

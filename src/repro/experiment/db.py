@@ -206,6 +206,55 @@ class ResultsDB:
             }
         return out
 
+    # -- history --------------------------------------------------------
+    def metric_history(
+        self,
+        trial_id: str,
+        metric: str,
+        experiment: Optional[str] = None,
+    ) -> List[Tuple[float, float]]:
+        """Every recorded ``(created_at, value)`` of one metric, oldest first.
+
+        Unlike every other reader this one does *not* collapse to the
+        latest row per trial id — the whole point is the trajectory the
+        append-only design preserves.  ``experiment`` restricts to one
+        experiment name (a trial id can recur across specs).
+        """
+        query = (
+            "SELECT trials.created_at AS created_at, metrics.value AS value "
+            "FROM trials "
+            "JOIN metrics ON metrics.trial_row = trials.id "
+            "JOIN experiments ON experiments.id = trials.experiment_id "
+            "WHERE trials.trial_id = ? AND metrics.name = ? "
+            "AND metrics.value IS NOT NULL AND trials.status = 'ok' "
+        )
+        params: List[object] = [trial_id, metric]
+        if experiment is not None:
+            query += "AND experiments.name = ? "
+            params.append(experiment)
+        query += "ORDER BY trials.id"
+        return [
+            (float(row["created_at"]), float(row["value"]))
+            for row in self._conn.execute(query, params)
+        ]
+
+    def trial_ids_with_metric(
+        self, metric: str, experiment: Optional[str] = None
+    ) -> List[str]:
+        """Trial ids that ever recorded a numeric value for ``metric``."""
+        query = (
+            "SELECT DISTINCT trials.trial_id AS trial_id FROM trials "
+            "JOIN metrics ON metrics.trial_row = trials.id "
+            "JOIN experiments ON experiments.id = trials.experiment_id "
+            "WHERE metrics.name = ? AND metrics.value IS NOT NULL "
+        )
+        params: List[object] = [metric]
+        if experiment is not None:
+            query += "AND experiments.name = ? "
+            params.append(experiment)
+        query += "ORDER BY trials.trial_id"
+        return [row["trial_id"] for row in self._conn.execute(query, params)]
+
 
 def flatten_metrics(tree: Mapping[str, object], prefix: str = "") -> Dict[str, object]:
     """A nested bench results tree as flat ``a.b.c`` metric rows.

@@ -11,6 +11,9 @@ the nightly artifact.  Content, per experiment:
   variance that best-of-N headlines hide,
 * ASCII scaling curves for any trial that produced per-shard-count rows
   (``…sN.aggregate_edges_per_sec`` / ``…sN.queries_per_sec``),
+* sparkline trends of the headline metrics over **all** historical rows
+  per trial id (the append-only DB's drift view — `trend` on the CLI),
+* windowed serving rollups (``…windowed.*`` metrics from ``repro.obs``),
 * the paper figures' rendered tables (the ``rendered`` text metric),
 * failed trials' tracebacks.
 """
@@ -23,7 +26,7 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.bench.charts import line_plot
+from repro.bench.charts import line_plot, sparkline
 from repro.bench.reporting import render_markdown_table
 from repro.experiment.db import ResultsDB, gain_metrics
 from repro.experiment.spec import ExperimentSpec, group_order
@@ -92,6 +95,14 @@ def build_sections(db: ResultsDB, spec: ExperimentSpec) -> List[Section]:
 
     curves = _curve_sections(spec, metrics_by_trial)
     sections.extend(curves)
+
+    trends = _trend_section(db, spec, metrics_by_trial)
+    if trends is not None:
+        sections.append(trends)
+
+    windowed = _windowed_section(spec, metrics_by_trial)
+    if windowed is not None:
+        sections.append(windowed)
 
     rendered = _rendered_sections(spec, metrics_by_trial)
     sections.extend(rendered)
@@ -179,6 +190,73 @@ def _curve_sections(spec, metrics_by_trial) -> List[Section]:
             )
             sections.append(section)
     return sections
+
+
+def _trend_section(db, spec, metrics_by_trial) -> Optional[Section]:
+    """Headline-metric sparklines over each trial id's full row history.
+
+    Only trials with at least two historical values appear (one point is
+    not a trend); the table mirrors ``python -m repro.experiment trend``.
+    """
+    rows = []
+    for trial in spec.trials:
+        metrics = metrics_by_trial.get(trial.trial_id)
+        if not metrics:
+            continue
+        names = sorted(
+            name
+            for name, value in metrics.items()
+            if isinstance(value, float) and _HEADLINE_PATTERN.search(name)
+        )
+        for name in names:
+            history = db.metric_history(trial.trial_id, name, experiment=spec.name)
+            values = [value for _, value in history]
+            if len(values) < 2:
+                continue
+            first, last = values[0], values[-1]
+            rows.append(
+                {
+                    "trial": trial.trial_id,
+                    "metric": name,
+                    "runs": len(values),
+                    "first": round(first, 3),
+                    "last": round(last, 3),
+                    "delta %": round(100.0 * (last - first) / first, 1) if first else "-",
+                    "trend": sparkline(values, width=30),
+                }
+            )
+    if not rows:
+        return None
+    section = Section("Trends (all historical rows per trial)")
+    section.parts.append(("md", render_markdown_table(rows)))
+    return section
+
+
+_WINDOWED_PATTERN = re.compile(r"(^|\.)windowed\.")
+
+
+def _windowed_section(spec, metrics_by_trial) -> Optional[Section]:
+    """The obs windowed-serving rollups any trial exported, as one table."""
+    rows = []
+    for trial in spec.trials:
+        metrics = metrics_by_trial.get(trial.trial_id)
+        if not metrics:
+            continue
+        for name in sorted(metrics):
+            value = metrics[name]
+            if isinstance(value, float) and _WINDOWED_PATTERN.search(name):
+                rows.append(
+                    {
+                        "trial": trial.trial_id,
+                        "metric": name,
+                        "value": round(value, 4),
+                    }
+                )
+    if not rows:
+        return None
+    section = Section("Windowed serving rollups (repro.obs)")
+    section.parts.append(("md", render_markdown_table(rows)))
+    return section
 
 
 def _rendered_sections(spec, metrics_by_trial) -> List[Section]:

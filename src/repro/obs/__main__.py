@@ -1,0 +1,102 @@
+"""``python -m repro.obs`` — trace-file tooling.
+
+``summarize TRACE.jsonl`` digests a ``--trace-out`` JSONL trace: event
+counts per kind, per-query serving rollups (requests, hops, cache hits)
+when serve events are present, and the wall span the ``ts`` stamps cover.
+Everything except the wall span derives from deterministic fields, so
+two traces of the same run summarize identically down to that line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List
+
+from repro.obs.format import render_table
+from repro.obs.trace import load_jsonl
+
+#: Event kinds that carry per-query serving fields (both engines emit
+#: the same shape: query, hops, embeddings, cached).
+_SERVE_KINDS = frozenset({"serve.done", "live.serve.done"})
+
+
+def summarize_events(events: List[Dict[str, object]]) -> List[str]:
+    lines: List[str] = []
+    if not events:
+        return ["empty trace"]
+
+    dropped = 0
+    kinds: Dict[str, int] = {}
+    per_query: Dict[str, List[int]] = {}  # query -> [requests, hops, cached]
+    for rec in events:
+        kind = str(rec.get("kind", "?"))
+        if kind == "trace.dropped":
+            dropped = int(rec.get("n", 0))
+            continue
+        kinds[kind] = kinds.get(kind, 0) + 1
+        if kind in _SERVE_KINDS:
+            query = str(rec.get("query", "?"))
+            row = per_query.setdefault(query, [0, 0, 0])
+            row[0] += 1
+            row[1] += int(rec.get("hops", 0))
+            row[2] += 1 if rec.get("cached") else 0
+
+    total = sum(kinds.values())
+    lines.append(f"events: {total}" + (f" (+{dropped} dropped from ring)" if dropped else ""))
+    timestamps = [int(rec["ts"]) for rec in events if int(rec.get("ts", 0)) > 0]
+    if len(timestamps) >= 2:
+        span_ms = (max(timestamps) - min(timestamps)) / 1e6
+        lines.append(f"wall span: {span_ms:.1f} ms (monotonic)")
+    lines.append("")
+    lines.extend(
+        render_table(
+            [{"kind": kind, "count": kinds[kind]} for kind in sorted(kinds)],
+            ["kind", "count"],
+        )
+    )
+    if per_query:
+        lines.append("")
+        rows = []
+        for query in sorted(per_query):
+            requests, hops, cached = per_query[query]
+            rows.append(
+                {
+                    "query": query,
+                    "requests": requests,
+                    "hops": hops,
+                    "hops/query": round(hops / requests, 3) if requests else 0.0,
+                    "cached": cached,
+                }
+            )
+        lines.extend(render_table(rows, ["query", "requests", "hops", "hops/query", "cached"]))
+    return lines
+
+
+def _cmd_summarize(args) -> int:
+    try:
+        events = load_jsonl(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    for line in summarize_events(events):
+        print(line)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    p = sub.add_parser("summarize", help="digest a --trace-out JSONL trace file")
+    p.add_argument("trace", help="path to the JSONL trace")
+    p.set_defaults(fn=_cmd_summarize)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

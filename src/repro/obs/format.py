@@ -1,0 +1,72 @@
+"""The one stats formatter: nested dicts → sorted ``key: value`` lines.
+
+Every human-facing stats dump (``partition_cli --stats``, the live
+cluster's shard view, the bench harness's matcher stats, ``obs``
+snapshots) renders through here, so they all agree on flattening,
+ordering and number formatting — no more hand-rolled f-string loops that
+drift apart per call site.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Mapping, Sequence
+
+
+def flatten(tree: Mapping, prefix: str = "") -> Dict[str, object]:
+    """Nested mappings → flat dotted names; scalars pass through, lists
+    of scalars become comma-joined strings (queue depths, shard ids).
+    Insertion order is preserved — callers that want sorted output sort
+    the flat keys (``render_lines`` does)."""
+    if prefix and not prefix.endswith("."):
+        prefix += "."
+    out: Dict[str, object] = {}
+    for key, value in tree.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, Mapping):
+            out.update(flatten(value, prefix=f"{name}."))
+        elif isinstance(value, (list, tuple)):
+            out[name] = ",".join(str(v) for v in value)
+        else:
+            out[name] = value
+    return out
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+def render_lines(stats: Mapping, prefix: str = "") -> List[str]:
+    """Sorted ``key: value`` lines for a (possibly nested) stats tree."""
+    flat = flatten(stats, prefix=prefix)
+    return [f"{key}: {_format_value(flat[key])}" for key in sorted(flat)]
+
+
+def print_stats(stats: Mapping, prefix: str = "", stream=None) -> None:
+    stream = stream if stream is not None else sys.stderr
+    for line in render_lines(stats, prefix=prefix):
+        print(line, file=stream)
+
+
+def render_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str]) -> List[str]:
+    """A fixed-width ASCII table (header + separator + one line per row)
+    for report/summary surfaces; columns are taken in the given order."""
+    if not rows:
+        return []
+    widths = {c: len(c) for c in columns}
+    rendered = []
+    for row in rows:
+        cells = {c: _format_value(row.get(c, "")) for c in columns}
+        for c in columns:
+            widths[c] = max(widths[c], len(cells[c]))
+        rendered.append(cells)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    sep = "  ".join("-" * widths[c] for c in columns)
+    lines = [header.rstrip(), sep.rstrip()]
+    for cells in rendered:
+        lines.append("  ".join(cells[c].rjust(widths[c]) for c in columns).rstrip())
+    return lines

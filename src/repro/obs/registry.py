@@ -1,0 +1,240 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms.
+
+Plain-int, lock-free, process-local.  Instruments are memoized by name so
+two components naming the same counter share one int; collectors let
+existing stat dicts (``MatcherStats``, ``LoomPartitioner.stats``) join
+the snapshot lazily — the hot loops keep their bare ``+=`` and the
+registry reads them only when someone asks.
+
+Disabled registries hand out shared NULL singletons whose methods are
+no-ops.  Components bind instruments once at construction, so the
+disabled path is one dead attribute call per batch/request — the
+zero-allocation property ``tests/test_obs.py`` gates on.
+
+No locks on purpose: registries are process-local (shard servers and
+workers each own theirs; cross-process aggregation travels as
+``StatsReport`` wire messages), and all mutators run on the owning
+process's single ingest/serve thread.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple, Union
+
+#: Default histogram buckets for latencies in microseconds: upper bounds,
+#: plus an implicit overflow bucket.  Spanning 50µs .. 1s covers in-process
+#: cache hits through multi-hop sharded queries.
+LATENCY_BUCKETS_US: Tuple[int, ...] = (
+    50,
+    100,
+    250,
+    500,
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    1_000_000,
+)
+
+
+class Counter:
+    """A monotonically increasing int."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time int (queue depth, window fill)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, value: int) -> None:
+        self.value = value
+
+    def high_water(self, value: int) -> None:
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Fixed upper-bound buckets over ints; one overflow bucket at the end.
+
+    ``observe`` takes pre-scaled ints (microseconds for latencies) so the
+    counts stay plain int arrays; percentiles are nearest-rank estimates
+    quoted at the crossing bucket's upper bound.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total")
+
+    def __init__(self, name: str, bounds: Sequence[int] = LATENCY_BUCKETS_US) -> None:
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+
+    def observe(self, value: int) -> None:
+        i = 0
+        for bound in self.bounds:
+            if value <= bound:
+                break
+            i += 1
+        self.counts[i] += 1
+        self.count += 1
+        self.total += value
+
+    def percentile(self, q: float) -> int:
+        """Nearest-rank percentile as the crossing bucket's upper bound
+        (the last finite bound for the overflow bucket); 0 when empty."""
+        if self.count == 0:
+            return 0
+        rank = max(1, -(-int(q * self.count) // 100))  # ceil(q/100 * count)
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank:
+                return self.bounds[i] if i < len(self.bounds) else self.bounds[-1]
+        return self.bounds[-1]
+
+    def as_metrics(self) -> Dict[str, int]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+
+class NullCounter:
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class NullGauge:
+    __slots__ = ()
+
+    def set(self, value: int) -> None:
+        pass
+
+    def high_water(self, value: int) -> None:
+        pass
+
+
+class NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: int) -> None:
+        pass
+
+
+#: The shared disabled-path singletons.  Identity matters: the overhead
+#: gate test asserts a disabled registry hands out exactly these objects.
+NULL_COUNTER = NullCounter()
+NULL_GAUGE = NullGauge()
+NULL_HISTOGRAM = NullHistogram()
+
+
+class MetricsRegistry:
+    """Name → instrument store with lazy collectors and a flat snapshot."""
+
+    __slots__ = ("enabled", "_counters", "_gauges", "_histograms", "_collectors", "_windows")
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        # prefix → fn; keyed so a re-constructed component (new matcher per
+        # bench repeat) replaces its collector instead of stacking dupes.
+        self._collectors: Dict[str, Callable[[], Mapping[str, object]]] = {}
+        self._windows: Dict[str, object] = {}
+
+    def counter(self, name: str) -> Union[Counter, NullCounter]:
+        if not self.enabled:
+            return NULL_COUNTER
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Union[Gauge, NullGauge]:
+        if not self.enabled:
+            return NULL_GAUGE
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(
+        self, name: str, bounds: Sequence[int] = LATENCY_BUCKETS_US
+    ) -> Union[Histogram, NullHistogram]:
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, bounds)
+        return h
+
+    def window(self, name: str, interval: int = 256, intervals: int = 4):
+        """A named :class:`~repro.obs.windowed.WindowedStats` (or the NULL
+        stub while disabled)."""
+        from repro.obs.windowed import NULL_WINDOW, WindowedStats
+
+        if not self.enabled:
+            return NULL_WINDOW
+        w = self._windows.get(name)
+        if w is None:
+            w = self._windows[name] = WindowedStats(name, interval, intervals)
+        return w
+
+    def register_collector(self, prefix: str, fn: Callable[[], Mapping[str, object]]) -> None:
+        """Pull ``fn()``'s dict into every snapshot under ``prefix.`` —
+        zero hot-path cost for stats a component already keeps."""
+        if self.enabled:
+            self._collectors[prefix] = fn
+
+    def snapshot(self) -> Dict[str, object]:
+        """Everything, flat, under sorted dotted names.
+
+        Histograms expand to ``name.count/.total/.p50/.p95``; windows to
+        ``windowed.<name>.<query>.*`` (see ``WindowedStats.as_metrics``).
+        Key order is sorted, so two runs that counted the same things
+        render byte-identical.
+        """
+        out: Dict[str, object] = {}
+        for name, c in self._counters.items():
+            out[name] = c.value
+        for name, g in self._gauges.items():
+            out[name] = g.value
+        for name, h in self._histograms.items():
+            for key, value in h.as_metrics().items():
+                out[f"{name}.{key}"] = value
+        for prefix, fn in self._collectors.items():
+            for key, value in fn().items():
+                out[f"{prefix}.{key}"] = value
+        for name, w in self._windows.items():
+            for key, value in w.as_metrics().items():
+                out[f"windowed.{name}.{key}"] = value
+        return {key: out[key] for key in sorted(out)}
+
+    def render_lines(self, prefix: str = "") -> List[str]:
+        from repro.obs.format import render_lines
+
+        return render_lines(self.snapshot(), prefix=prefix)

@@ -28,8 +28,10 @@ import argparse
 import sys
 from typing import Optional
 
+from repro import obs
 from repro.bench.harness import scaled_window
 from repro.graph.io import read_graph
+from repro.obs.format import print_stats
 from repro.graph.stream import stream_edges
 from repro.partitioning import registry
 from repro.partitioning.metrics import partition_quality_summary
@@ -140,11 +142,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="print matcher/plan counters (plan states, root hits, extension "
         "probes, leaf-gate skips, …) and partitioner counters to stderr",
     )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="enable the repro.obs metrics registry for this run and print "
+        "its snapshot to stderr (counters, gauges, latency histograms, "
+        "windowed rollups); placements are bit-identical with or without it",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="enable structured tracing (implies --obs) and export the trace "
+        "ring as JSONL to PATH; inspect with `python -m repro.obs summarize`",
+    )
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.obs or args.trace_out:
+        # Enable before any pipeline object exists: components bind their
+        # counters (or the free NULL stubs) at construction time.
+        obs.enable(trace=bool(args.trace_out))
     if args.system == "loom" and not args.workload:
         print("error: --system loom requires --workload", file=sys.stderr)
         return 2
@@ -225,22 +244,24 @@ def main(argv: Optional[list] = None) -> int:
         matcher_stats = None
         partitioner_stats = {}
         if args.stats:
-            for shard in result.shard_results:
-                if shard.matcher_stats:
-                    for key, value in shard.matcher_stats.items():
-                        print(f"shard{shard.shard_id}.matcher.{key}: {value}", file=sys.stderr)
-                for key, value in shard.partitioner_stats.items():
-                    print(f"shard{shard.shard_id}.partitioner.{key}: {value}", file=sys.stderr)
+            shard_tree = {
+                f"shard{shard.shard_id}": {
+                    "matcher": shard.matcher_stats or {},
+                    "partitioner": shard.partitioner_stats,
+                    "queue_wait_seconds": round(shard.queue_wait_seconds, 4),
+                }
+                for shard in result.shard_results
+            }
+            print_stats(shard_tree)
 
     quality = partition_quality_summary(graph, state)
     for key, value in quality.items():
         print(f"{key}: {value:g}", file=sys.stderr)
     if args.stats:
+        tree: dict = {"partitioner": partitioner_stats}
         if matcher_stats is not None:
-            for key, value in matcher_stats.items():
-                print(f"matcher.{key}: {value}", file=sys.stderr)
-        for key, value in partitioner_stats.items():
-            print(f"partitioner.{key}: {value}", file=sys.stderr)
+            tree["matcher"] = matcher_stats
+        print_stats(tree)
     if args.execute:
         if workload is None:
             print("error: --execute requires --workload", file=sys.stderr)
@@ -276,28 +297,11 @@ def main(argv: Optional[list] = None) -> int:
             for key, value in traffic.as_dict().items():
                 print(f"serve.{key}: {value}", file=sys.stderr)
             if args.stats:
-                cluster_stats = cluster.stats()
-                print(
-                    f"serve.cluster.queue_depths: {cluster_stats['queue_depths']}",
-                    file=sys.stderr,
-                )
-                print(
-                    "serve.cluster.hop_messages_sent: "
-                    f"{cluster_stats['hop_messages_sent']}",
-                    file=sys.stderr,
-                )
-                for shard in cluster_stats["shards"]:
-                    cache_stats = shard.get("cache_stats") or {}
-                    hit_rate = cache_stats.get("hit_rate", 0.0)
-                    print(
-                        f"serve.shard{shard['shard_id']}: "
-                        f"requests={shard['requests_served']} "
-                        f"steps={shard['steps_executed']} "
-                        f"hop_messages={shard['hop_messages']} "
-                        f"members={shard['members']} ghosts={shard['ghosts']} "
-                        f"cache_hit_rate={hit_rate}",
-                        file=sys.stderr,
-                    )
+                # The whole cluster tree — queue depths, per-shard server
+                # snapshots, and (with --obs) the driver-side registry and
+                # piggybacked shard StatsReports — through the one
+                # formatter every stats surface shares.
+                print_stats(cluster.stats(), prefix="serve.cluster")
     elif args.serve:
         engine = ServingEngine(
             graph,
@@ -325,8 +329,13 @@ def main(argv: Optional[list] = None) -> int:
             )
             print(f"serve.border_edges: {engine.stores.num_border_edges}", file=sys.stderr)
             if engine.cache is not None:
-                for key, value in engine.cache.stats().items():
-                    print(f"serve.cache.{key}: {value}", file=sys.stderr)
+                print_stats(engine.cache.stats(), prefix="serve.cache")
+
+    if obs.enabled():
+        print_stats(obs.snapshot(), prefix="obs")
+        if args.trace_out:
+            obs.export_trace(args.trace_out)
+            print(f"trace written to {args.trace_out}", file=sys.stderr)
 
     lines = (
         f"{v}\t{state.partition_of(v)}" for v in sorted(graph.vertices(), key=repr)

@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+from repro import obs
 from repro.graph.stream import EdgeEvent
 from repro.partitioning import registry
 from repro.partitioning.state import PartitionState
@@ -150,16 +151,40 @@ def run_sharded(
     edges = 0
     early: List[ShardResult] = []  # results that arrive while still feeding
 
+    # Feed-side queue telemetry (repro.obs): NULL stubs when disabled, so
+    # the per-batch cost is two dead calls.  Stall time is only measured
+    # inside the Full branch — the common non-blocking put pays nothing.
+    obs_on = obs.enabled()
+    obs_batches = obs.counter("runtime.feed.batches")
+    obs_stalls = obs.counter("runtime.feed.put_stalls")
+    obs_stall_us = obs.counter("runtime.feed.put_stall_us")
+    obs_depth = obs.gauge("runtime.feed.queue_high_water")
+
     def put_with_liveness(shard: int, item) -> None:
         # The put() on a full bounded queue is the backpressure point — but
         # a queue can also be full because its worker died mid-stream.
         # Blocking forever would turn that worker's traceback into a hang,
         # so back off periodically and check the process is still draining.
+        obs_batches.inc()
+        if obs_on:
+            try:
+                obs_depth.high_water(in_queues[shard].qsize())
+            except NotImplementedError:  # pragma: no cover - macOS qsize
+                pass
+        stall_start = 0.0
         while True:
             try:
                 in_queues[shard].put(item, timeout=1.0)
+                if stall_start:
+                    # Counters only, no trace event: stalls are genuine
+                    # scheduling nondeterminism and trace sequences must
+                    # stay bit-comparable across double runs.
+                    obs_stall_us.inc(int((time.perf_counter() - stall_start) * 1e6))
                 return
             except queue_module.Full:
+                if obs_on and not stall_start:
+                    obs_stalls.inc()
+                    stall_start = time.perf_counter()
                 while True:
                     try:
                         outcome = out_queue.get_nowait()

@@ -49,6 +49,7 @@ import time
 from collections import deque
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.graph.labelled_graph import LabelledGraph
 from repro.graph.stream import EdgeEvent
 from repro.graph.interning import unpack_edge
@@ -66,6 +67,7 @@ from repro.runtime.messages import (
     ServeSpec,
     ServerFailure,
     ServerStats,
+    StatsReport,
     StatsRequest,
     StepReply,
     StepRequest,
@@ -156,6 +158,7 @@ class LiveCluster:
         start_method: Optional[str] = None,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         request_timeout: float = 120.0,
+        stats_every: Optional[int] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
@@ -193,6 +196,26 @@ class LiveCluster:
         self.last_cached: Optional[bool] = None
         self._closed = False
 
+        # Observability (repro.obs): NULL stubs unless obs.enable() ran
+        # before construction.  Hop attribution is per dispatched
+        # StepRequest, keyed (query, root label id, target partition) —
+        # the per-partition transport-hop signal ROADMAP item 3 needs.
+        self._obs_on = obs.enabled()
+        self._c_requests = obs.counter("live.requests")
+        self._c_cache_hits = obs.counter("live.cache_hits")
+        self._c_cache_misses = obs.counter("live.cache_misses")
+        self._c_hops = obs.counter("live.hop_messages")
+        self._trace = obs.tracer()
+        self._trace_on = self._trace.enabled
+        self._hop_attribution: Dict[Tuple[str, int, int], int] = {}
+        obs.register_collector("live.hops", self._hop_metrics)
+        #: shard id → latest unsolicited StatsReport (intercepted by the
+        #: message loop; never interleaves with serving replies).
+        self.stats_reports: Dict[int, StatsReport] = {}
+        if stats_every is None:
+            stats_every = 4 if self._obs_on else 0
+        self._stats_every = stats_every
+
         ctx = mp.get_context(
             start_method
             if start_method is not None
@@ -211,6 +234,8 @@ class LiveCluster:
                 query_depths=depths,
                 cache_enabled=self.cache_enabled,
                 cache_capacity=cache_capacity,
+                obs_enabled=self._obs_on,
+                stats_every=self._stats_every,
             )
             process = ctx.Process(
                 target=shard_server_main,
@@ -296,6 +321,21 @@ class LiveCluster:
                 self._check_servers()
 
     def _next_message(self, deadline: float, soft: bool = False):
+        """One *protocol* message from the inbox or the shared reply queue.
+
+        Out-of-band telemetry (:class:`StatsReport`) is absorbed here —
+        every consumer (serve loop, barrier, stats probes) reads through
+        this method, so unsolicited reports can never surface as an
+        unexpected message or perturb reply order.
+        """
+        while True:
+            message = self._next_message_raw(deadline, soft)
+            if isinstance(message, StatsReport):
+                self.stats_reports[message.shard_id] = message
+                continue
+            return message
+
+    def _next_message_raw(self, deadline: float, soft: bool = False):
         """One message from the inbox or the shared reply queue.
 
         ``soft`` makes the deadline a polling budget: return ``None`` when
@@ -483,10 +523,32 @@ class LiveCluster:
             self._results[request_id] = request.result
             self._completed.append(request_id)
             self.requests_completed += 1
+            self._c_requests.inc()
+            if self._trace_on:
+                self._trace.event(
+                    "live.serve.done",
+                    request=request_id,
+                    query=query_name,
+                    root=root,
+                    hops=0,
+                    embeddings=0,
+                    steps=0,
+                    cached=None,
+                )
             return request_id
         self._pending[request_id] = request
         message = QueryRequest(request_id, plan, root, partition)
-        self._put(self._request_queues, shard_of_partition(partition, self.num_shards), message)
+        shard = shard_of_partition(partition, self.num_shards)
+        if self._trace_on:
+            self._trace.event(
+                "live.route",
+                request=request_id,
+                query=query_name,
+                root=root,
+                partition=partition,
+                shard=shard,
+            )
+        self._put(self._request_queues, shard, message)
         return request_id
 
     def poll_completed(
@@ -562,6 +624,21 @@ class LiveCluster:
                 request.outstanding += 1
                 step = StepRequest(request.request_id, step_id, request.plan, segment)
                 self.hop_messages_sent += 1
+                self._c_hops.inc()
+                if self._obs_on:
+                    # Exact per-hop attribution: each dispatched step is one
+                    # cross-partition message, charged to the partition it
+                    # lands on (the hot-border signal, ROADMAP item 3).
+                    key = (request.query, request.plan.label_ids[0], segment.target_partition)
+                    self._hop_attribution[key] = self._hop_attribution.get(key, 0) + 1
+                    if self._trace_on:
+                        self._trace.event(
+                            "live.hop",
+                            request=request.request_id,
+                            query=request.query,
+                            step=step_id,
+                            partition=segment.target_partition,
+                        )
                 self._put(
                     self._request_queues,
                     shard_of_partition(segment.target_partition, self.num_shards),
@@ -596,6 +673,22 @@ class LiveCluster:
         self._cached_flags[request.request_id] = request.cached
         self._completed.append(request.request_id)
         self.requests_completed += 1
+        self._c_requests.inc()
+        if request.cached is True:
+            self._c_cache_hits.inc()
+        elif request.cached is False:
+            self._c_cache_misses.inc()
+        if self._trace_on:
+            self._trace.event(
+                "live.serve.done",
+                request=request.request_id,
+                query=request.query,
+                root=request.root,
+                hops=result.hops,
+                embeddings=result.num_embeddings,
+                steps=request.dispatched_steps,
+                cached=request.cached,
+            )
         if cache_put and self.cache_enabled and len(request.seqs) == 1:
             # Multi-shard result: write it back to the root owner, epoch-
             # guarded by the one sequence number every step observed.
@@ -683,8 +776,28 @@ class LiveCluster:
         self._inbox.extend(stash)
         return [collected[shard] for shard in range(self.num_shards)]
 
+    def _hop_metrics(self) -> Dict[str, int]:
+        """Hop attribution as dotted names (``<query>.l<label>.p<part>``).
+
+        Keys interpolate query names (workload strings) and ints — value
+        forms, not object reprs — and insertion follows sorted key order.
+        """
+        out: Dict[str, int] = {}
+        for key in sorted(self._hop_attribution):
+            query, label_id, partition = key
+            name = f"{query}.l{label_id}.p{partition}"
+            out[name] = self._hop_attribution[key]
+        return out
+
     def stats(self) -> Dict[str, object]:
-        """Cluster-wide counters: per-shard snapshots + driver-side truth."""
+        """Cluster-wide counters: per-shard snapshots + driver-side truth.
+
+        One tree, rendered everywhere through
+        :func:`repro.obs.format.render_lines`; with obs enabled it folds
+        in the driver registry snapshot (which includes hop attribution
+        and any partitioner collectors) and the latest shipped
+        :class:`StatsReport` per shard.
+        """
         shards = self.shard_stats()
         queue_depths = []
         for shard in range(self.num_shards):
@@ -693,7 +806,7 @@ class LiveCluster:
             except NotImplementedError:  # pragma: no cover - macOS qsize
                 depth = -1
             queue_depths.append(depth)
-        return {
+        out: Dict[str, object] = {
             "num_shards": self.num_shards,
             "seq": self._seq,
             "requests_completed": self.requests_completed,
@@ -707,6 +820,14 @@ class LiveCluster:
             },
             "shards": [s.as_dict() for s in shards],
         }
+        if self._obs_on:
+            out["obs"] = obs.snapshot()
+            if self.stats_reports:
+                out["reports"] = {
+                    f"shard{shard}": dict(self.stats_reports[shard].metrics)
+                    for shard in sorted(self.stats_reports)
+                }
+        return out
 
     def close(self) -> None:
         """Shut every server down; terminate stragglers after a grace join."""

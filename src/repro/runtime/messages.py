@@ -53,7 +53,7 @@ from repro.graph.labelled_graph import Vertex
 
 #: Version of the wire protocol defined by this module.  Bump on any
 #: field change; :func:`check_schema` rejects mismatched peers.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: End-of-stream sentinel on a worker input queue.
 END_OF_STREAM = None
@@ -169,6 +169,7 @@ class ShardResult:
         "worker_seconds",
         "matcher_stats",
         "partitioner_stats",
+        "queue_wait_seconds",
     )
     schema_version = SCHEMA_VERSION
 
@@ -182,6 +183,7 @@ class ShardResult:
         worker_seconds: float,
         matcher_stats: Optional[Dict[str, int]] = None,
         partitioner_stats: Optional[Dict[str, int]] = None,
+        queue_wait_seconds: float = 0.0,
     ) -> None:
         self.shard_id = shard_id
         #: The shard's assignment slice, in the worker's first-seen vertex
@@ -197,6 +199,9 @@ class ShardResult:
         self.partitioner_stats: Dict[str, int] = (
             partitioner_stats if partitioner_stats is not None else {}
         )
+        #: Seconds the worker spent blocked on ``in_queue.get`` — the
+        #: feed-side backpressure signal (out-of-band, monotonic-timed).
+        self.queue_wait_seconds = queue_wait_seconds
 
     @property
     def edges_per_second(self) -> float:
@@ -215,6 +220,7 @@ class ShardResult:
                 self.worker_seconds,
                 self.matcher_stats,
                 self.partitioner_stats,
+                self.queue_wait_seconds,
             ),
         )
 
@@ -261,6 +267,8 @@ class ServeSpec:
         "query_depths",
         "cache_enabled",
         "cache_capacity",
+        "obs_enabled",
+        "stats_every",
     )
     schema_version = SCHEMA_VERSION
 
@@ -272,6 +280,8 @@ class ServeSpec:
         query_depths: Tuple[Tuple[str, int], ...],
         cache_enabled: bool = True,
         cache_capacity: Optional[int] = None,
+        obs_enabled: bool = False,
+        stats_every: int = 0,
     ) -> None:
         self.shard_id = shard_id
         self.num_shards = num_shards
@@ -279,6 +289,11 @@ class ServeSpec:
         self.query_depths = tuple(query_depths)
         self.cache_enabled = cache_enabled
         self.cache_capacity = cache_capacity
+        #: Switch the server process's repro.obs registry on at boot.
+        self.obs_enabled = obs_enabled
+        #: Ship a :class:`StatsReport` after every N ingest rounds
+        #: (0 = never) — telemetry piggybacked on the reply queue.
+        self.stats_every = stats_every
 
     def __reduce__(self):
         return (
@@ -290,6 +305,8 @@ class ServeSpec:
                 self.query_depths,
                 self.cache_enabled,
                 self.cache_capacity,
+                self.obs_enabled,
+                self.stats_every,
             ),
         )
 
@@ -593,6 +610,34 @@ class ServerStats:
         )
 
 
+class StatsReport:
+    """Unsolicited periodic shard telemetry, server → driver.
+
+    Unlike the request/response :class:`StatsRequest`/:class:`ServerStats`
+    pair, these ride the existing reply queue on the server's own cadence
+    (``ServeSpec.stats_every`` ingest rounds) and the driver's message
+    loop absorbs them out-of-band — they never interleave with, block, or
+    reorder serving replies, so enabling them cannot change results.
+    ``metrics`` is a flat dotted-name dict (the shard's obs snapshot
+    merged over its :meth:`ServerStats.as_dict` counters).
+    """
+
+    __slots__ = ("shard_id", "seq", "metrics")
+    schema_version = SCHEMA_VERSION
+
+    def __init__(self, shard_id: int, seq: int, metrics: Dict[str, object]) -> None:
+        self.shard_id = shard_id
+        #: The server's ingest epoch when the snapshot was taken.
+        self.seq = seq
+        self.metrics = metrics
+
+    def __reduce__(self):
+        return (StatsReport, (self.shard_id, self.seq, self.metrics))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StatsReport shard={self.shard_id} seq={self.seq} n={len(self.metrics)}>"
+
+
 class ServerFailure:
     """Sent by a live shard server when it raises — the driver re-raises
     with the embedded traceback instead of deadlocking (the live twin of
@@ -630,5 +675,6 @@ WIRE_TYPES: Tuple[type, ...] = (
     CachePut,
     StatsRequest,
     ServerStats,
+    StatsReport,
     ServerFailure,
 )

@@ -47,6 +47,8 @@ import queue as queue_module
 import traceback
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
+from repro.obs.format import flatten
 from repro.runtime.messages import (
     END_OF_STREAM,
     CachePut,
@@ -57,6 +59,7 @@ from repro.runtime.messages import (
     ServeSpec,
     ServerFailure,
     ServerStats,
+    StatsReport,
     StatsRequest,
     StepReply,
     StepRequest,
@@ -87,6 +90,11 @@ class ShardServer:
 
     def __init__(self, spec: ServeSpec) -> None:
         self.spec = spec
+        # Spec-driven obs opt-in: with the spawn start method the child
+        # imports fresh, so the driver's enable() does not carry over —
+        # the spec is the one switch that works for every start method.
+        if spec.obs_enabled and not obs.enabled():
+            obs.enable()
         self.shard_id = spec.shard_id
         self.stores = ShardStores(spec.shard_id, spec.num_shards, spec.k)
         self.view = ShardView(self.stores)
@@ -283,6 +291,20 @@ class ShardServer:
             cache_stats=self.cache.stats() if self.cache is not None else None,
         )
 
+    def stats_report(self) -> StatsReport:
+        """The periodic unsolicited telemetry message: the ServerStats
+        counters flattened to dotted names, plus this process's obs
+        registry snapshot (``obs.*``) when one is enabled."""
+        metrics = {
+            key: value
+            for key, value in flatten(self.stats_snapshot().as_dict()).items()
+            if value is not None
+        }
+        for key, value in obs.snapshot().items():
+            name = f"obs.{key}"  # snapshot keys are already dotted strings
+            metrics[name] = value
+        return StatsReport(self.shard_id, self.seq, metrics)
+
     # ------------------------------------------------------------------
     # Message dispatch (shared by the process loop and in-process tests)
     # ------------------------------------------------------------------
@@ -319,6 +341,7 @@ def shard_server_main(spec: ServeSpec, ingest_queue, request_queue, out_queue) -
     try:
         check_schema(spec)
         server = ShardServer(spec)
+        stats_every = spec.stats_every
         while True:
             while True:
                 try:
@@ -329,6 +352,14 @@ def shard_server_main(spec: ServeSpec, ingest_queue, request_queue, out_queue) -
                     return
                 reply = server.handle_ingest_message(message)
                 out_queue.put(reply)
+                # Piggyback periodic telemetry on the reply queue, after
+                # the ack so the driver's barrier never waits on it.
+                if (
+                    stats_every
+                    and isinstance(message, EdgeUpdate)
+                    and server.ingest_rounds % stats_every == 0
+                ):
+                    out_queue.put(server.stats_report())
             try:
                 message = request_queue.get(timeout=REQUEST_POLL_SECONDS)
             except queue_module.Empty:

@@ -60,9 +60,15 @@ def worker_main(spec: WorkerSpec, in_queue, out_queue) -> None:
         partitioner = build_worker_partitioner(spec)
         ingest_batch = partitioner.ingest_batch
         ingest_seconds = 0.0
+        # Time blocked on the feed queue (monotonic, out-of-band): the
+        # driver-side backpressure signal, shipped on the ShardResult so
+        # the obs snapshot can attribute idle vs ingest time per shard.
+        queue_wait_seconds = 0.0
         batches = 0
         while True:
+            t0 = time.perf_counter()
             batch = in_queue.get()
+            queue_wait_seconds += time.perf_counter() - t0
             if batch is END_OF_STREAM:
                 break
             events = [EdgeEvent(u, lu, v, lv) for u, lu, v, lv in batch]
@@ -84,6 +90,7 @@ def worker_main(spec: WorkerSpec, in_queue, out_queue) -> None:
             worker_seconds=time.perf_counter() - started,
             matcher_stats=matcher.stats.as_dict() if matcher is not None else None,
             partitioner_stats=dict(getattr(partitioner, "stats", {})),
+            queue_wait_seconds=queue_wait_seconds,
         )
         out_queue.put(result)
     except BaseException as exc:  # noqa: BLE001 - a silent worker deadlocks the driver

@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.graph.labelled_graph import LabelledGraph, Vertex
 from repro.graph.stream import EdgeEvent
 from repro.partitioning.base import StreamingPartitioner
@@ -216,6 +217,24 @@ class ServingEngine:
             self._label_counts[label] = self._label_counts.get(label, 0) + 1
         self._queries: Dict[str, _CompiledQuery] = {}
         self._compile_plans()
+        # Observability (repro.obs): bound at construction; NULL stubs
+        # when disabled, so the serve path pays one flag check per root.
+        # Hop attribution is keyed (query, root label id, root partition)
+        # — the per-partition signal ROADMAP item 3's hot-border
+        # replication needs — and joins snapshots via a collector.
+        # The per-request path stays lean on purpose: one window record,
+        # one attribution add, one (guarded) trace event.  Request totals
+        # and latency percentiles come from the windowed rollup; cache
+        # hit/miss counts already live on the cache — a collector reads
+        # them at snapshot time instead of double-counting per request.
+        self._obs_on = obs.enabled()
+        self._obs_window = obs.window("serving")
+        self._trace = obs.tracer()
+        self._trace_on = self._trace.enabled
+        self._hop_attribution: Dict[Tuple[str, int, int], int] = {}
+        obs.register_collector("serve.hops", self._hop_metrics)
+        if self.cache is not None:
+            obs.register_collector("serve.cache", self.cache.stats)
 
     # ------------------------------------------------------------------
     # Plan compilation
@@ -257,14 +276,56 @@ class ServingEngine:
     def serve_root(self, query_name: str, root: int) -> RootResult:
         """Serve one ``(query, root vertex id)`` request, through the cache."""
         plan = self._plan(query_name)
+        obs_on = self._obs_on
+        t0 = time.perf_counter() if obs_on else 0.0
+        hit = False
+        result: Optional[RootResult] = None
         if self.cache is not None:
-            cached = self.cache.get((query_name, root))
-            if cached is not None:
-                return cached  # a hit answers locally: no partitions touched
-        result = self._enumerate_root(plan, root)
-        if self.cache is not None:
-            self.cache.put((query_name, root), result)
+            result = self.cache.get((query_name, root))
+            hit = result is not None  # a hit answers locally: no partitions touched
+        if result is None:
+            result = self._enumerate_root(plan, root)
+            if self.cache is not None:
+                self.cache.put((query_name, root), result)
+        if obs_on:
+            self._record_serve(plan, root, result, hit, t0)
         return result
+
+    def _record_serve(
+        self, plan: _CompiledQuery, root: int, result: RootResult, hit: bool, t0: float
+    ) -> None:
+        """Out-of-band per-request telemetry (obs enabled only): windowed
+        rollup, hop attribution, one trace event when tracing is on.  Every
+        trace field is deterministic; the clock feeds only latency metrics."""
+        latency_us = int((time.perf_counter() - t0) * 1e6)
+        vec = self.state.assignment_vector
+        partition = vec[root] if root < len(vec) else -1
+        key = (plan.name, plan.label_ids[0], partition)
+        self._hop_attribution[key] = self._hop_attribution.get(key, 0) + result.hops
+        self._obs_window.record(plan.name, result.hops, latency_us)
+        if self._trace_on:
+            self._trace.event(
+                "serve.done",
+                query=plan.name,
+                root=root,
+                partition=partition,
+                hops=result.hops,
+                embeddings=result.num_embeddings,
+                cached=hit,
+            )
+
+    def _hop_metrics(self) -> Dict[str, int]:
+        """Hop attribution as dotted names (``<query>.l<label>.p<part>``).
+
+        Keys interpolate query names (workload strings) and ints — value
+        forms, not object reprs — and insertion follows sorted key order.
+        """
+        out: Dict[str, int] = {}
+        for key in sorted(self._hop_attribution):
+            query, label_id, partition = key
+            name = f"{query}.l{label_id}.p{partition}"
+            out[name] = self._hop_attribution[key]
+        return out
 
     def serve_vertex(self, query_name: str, root_vertex: Vertex) -> RootResult:
         """Vertex-keyed :meth:`serve_root` (the public request boundary)."""
@@ -358,6 +419,8 @@ class ServingEngine:
                 new_edges.append(pair)
         new_edges.extend(self.stores.flush_pending())
         self._after_growth(new_edges)
+        if self._trace_on:
+            self._trace.event("serve.ingest", n=len(batch), visible=len(new_edges))
         return len(new_edges)
 
     def finalize(self) -> int:

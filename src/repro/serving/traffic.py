@@ -28,9 +28,10 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.serving.engine import ServingEngine
 
 
@@ -247,6 +248,12 @@ class LiveTrafficReport:
     cache_misses: int
     router: str
     zipf_s: float
+    #: Per-query attribution: name → {requests, hops, hops_per_query,
+    #: p50_ms, p95_ms}.  This is what lets a benchmark row tie its tail
+    #: latency back to the hop count of the query that caused it instead
+    #: of reporting one anonymous aggregate (the open-loop rows in
+    #: BENCH_serving.json consume it).
+    per_query: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def requests_per_sec(self) -> float:
@@ -283,6 +290,7 @@ class LiveTrafficReport:
             "wall_seconds": round(self.wall_seconds, 4),
             "router": self.router,
             "zipf_s": self.zipf_s,
+            "per_query": self.per_query,
         }
 
 
@@ -356,6 +364,12 @@ class LiveTrafficDriver:
         results: List[object] = [None] * total if collect_results else []
         embeddings = hops = hits = misses = 0
         hop_messages0 = cluster.hop_messages_sent
+        #: query name → [request count, hop total, latency list] — the
+        #: per-query attribution the report exposes (satellite of the
+        #: open-loop fix: a row can now say *which* query's hops produced
+        #: its p95, not just that some query did).
+        per_query_acc: Dict[str, list] = {}
+        obs_window = obs.window("live_traffic")
         #: request id → (stream index, latency clock start)
         started: Dict[int, Tuple[int, float]] = {}
         submitted = completed = 0
@@ -390,11 +404,20 @@ class LiveTrafficDriver:
             end = perf_counter()
             for request_id, result, cached in finished:
                 index, clock_start = started.pop(request_id)
-                latencies.append(end - clock_start)
+                latency = end - clock_start
+                latencies.append(latency)
                 if collect_results:
                     results[index] = result
                 embeddings += result.num_embeddings
                 hops += result.hops
+                name = requests[index][0]
+                acc = per_query_acc.get(name)
+                if acc is None:
+                    acc = per_query_acc[name] = [0, 0, []]
+                acc[0] += 1
+                acc[1] += result.hops
+                acc[2].append(latency)
+                obs_window.record(name, result.hops, int(latency * 1e6))
                 if cached is True:
                     hits += 1
                 elif cached is False:
@@ -408,6 +431,17 @@ class LiveTrafficDriver:
                     time.sleep(min(pause, 0.05))
         wall = perf_counter() - wall_start
         latencies.sort()
+        per_query: Dict[str, Dict[str, float]] = {}
+        for name in sorted(per_query_acc):
+            count, query_hops, query_latencies = per_query_acc[name]
+            query_latencies.sort()
+            per_query[name] = {
+                "requests": count,
+                "hops": query_hops,
+                "hops_per_query": round(query_hops / count, 4),
+                "p50_ms": round(percentile(query_latencies, 0.50) * 1e3, 4),
+                "p95_ms": round(percentile(query_latencies, 0.95) * 1e3, 4),
+            }
         report = LiveTrafficReport(
             system=system,
             mode="open" if rate is not None else "closed",
@@ -426,6 +460,7 @@ class LiveTrafficDriver:
             cache_misses=misses,
             router=cluster.router.name,
             zipf_s=self.zipf_s,
+            per_query=per_query,
         )
         if collect_results:
             report.results = results  # type: ignore[attr-defined]
